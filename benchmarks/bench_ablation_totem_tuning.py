@@ -1,0 +1,100 @@
+"""E13 (ablation): Totem tuning vs failover latency and throughput.
+
+DESIGN.md calls out the protocol's timing knobs as design choices worth
+ablating.  Two sweeps:
+
+* **token_loss_timeout** — failure *detection* time.  E9/E12 showed
+  failover latency is detection-dominated; this ablation shows the
+  relationship directly: halve the timeout, roughly halve the failover
+  latency — at the cost of more spurious reformations on slow rings
+  (the trade every group-communication deployment tunes).
+* **token_hold** — per-visit processing delay, i.e. ring rotation time.
+  It bounds steady-state invocation latency inside the domain.
+"""
+
+import pytest
+
+from repro import ReplicationStyle, TotemConfig, World
+from repro.apps import COUNTER_INTERFACE, CounterServant
+from repro.eternal import FaultToleranceDomain
+
+
+def build(config, seed):
+    world = World(seed=seed, trace=False)
+    domain = FaultToleranceDomain(world, "dom", num_hosts=4,
+                                  totem_config=config)
+    domain.await_stable()
+    group = domain.create_group("Counter", COUNTER_INTERFACE, CounterServant,
+                                style=ReplicationStyle.ACTIVE,
+                                num_replicas=3, min_replicas=2)
+    domain.await_ready(group)
+    return world, domain, group
+
+
+def run_failover(loss_timeout):
+    config = TotemConfig(token_loss_timeout=loss_timeout)
+    world, domain, group = build(config, seed=1300)
+    world.await_promise(group.invoke("increment", 1), timeout=600)
+    victim = group.info().placement[0]
+    t0 = world.now
+    world.faults.crash_now(victim)
+    world.await_promise(group.invoke("increment", 1), timeout=600)
+    return {"loss_timeout_s": loss_timeout,
+            "failover_latency_s": round(world.now - t0, 4)}
+
+
+def run_steady_state(token_hold):
+    config = TotemConfig(token_hold=token_hold)
+    world, domain, group = build(config, seed=1301)
+    world.await_promise(group.invoke("increment", 1), timeout=600)
+    t0 = world.now
+    for _ in range(10):
+        world.await_promise(group.invoke("increment", 1), timeout=600)
+    return {"token_hold_s": token_hold,
+            "invocation_latency_s": round((world.now - t0) / 10, 5)}
+
+
+@pytest.mark.parametrize("loss_timeout", [0.0125, 0.025, 0.05, 0.1])
+def test_failover_tracks_detection_timeout(benchmark, loss_timeout):
+    row = benchmark.pedantic(run_failover, args=(loss_timeout,), rounds=1,
+                             iterations=1)
+    benchmark.extra_info.update(row)
+    # Failover latency is bounded below by the detection timeout and
+    # stays within a few multiples of it (gather + replay are fast).
+    assert row["failover_latency_s"] >= loss_timeout
+    assert row["failover_latency_s"] < loss_timeout * 4 + 0.05
+
+
+@pytest.mark.parametrize("token_hold", [0.0002, 0.001, 0.005])
+def test_invocation_latency_tracks_rotation_time(benchmark, token_hold):
+    row = benchmark.pedantic(run_steady_state, args=(token_hold,), rounds=1,
+                             iterations=1)
+    benchmark.extra_info.update(row)
+    # One invocation needs roughly one rotation for the request and one
+    # for the responses; rotation ~ ring size x (hold + hop).
+    rotation = 5 * (token_hold + 0.0005)
+    assert row["invocation_latency_s"] < 4 * rotation + 0.01
+
+
+def test_tuning_tradeoff_table(benchmark):
+    def run():
+        return {
+            "failover_by_timeout": {
+                t: run_failover(t)["failover_latency_s"]
+                for t in (0.0125, 0.1)},
+            "latency_by_hold": {
+                h: run_steady_state(h)["invocation_latency_s"]
+                for h in (0.0002, 0.005)},
+        }
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "failover_fast_detect_s": table["failover_by_timeout"][0.0125],
+        "failover_slow_detect_s": table["failover_by_timeout"][0.1],
+        "latency_fast_ring_s": table["latency_by_hold"][0.0002],
+        "latency_slow_ring_s": table["latency_by_hold"][0.005],
+    })
+    assert (table["failover_by_timeout"][0.0125]
+            < table["failover_by_timeout"][0.1])
+    assert (table["latency_by_hold"][0.0002]
+            < table["latency_by_hold"][0.005])

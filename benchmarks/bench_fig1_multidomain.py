@@ -1,0 +1,107 @@
+"""E1 (Figure 1): the multi-domain topology, measured.
+
+A Santa Barbara customer invokes a New York replicated trading desk
+through NY's gateway; buy orders additionally cross the wide area to a
+Los Angeles settlement domain through LA's gateway.
+
+Reported series (simulated seconds): end-to-end latency of a
+domain-local operation (position query) vs a cross-domain operation
+(buy).  The paper's topology predicts the cross-domain operation pays
+at least one extra WAN round trip; the benchmark asserts that shape.
+"""
+
+from repro import FaultToleranceDomain, FtClientLayer, Orb, ReplicationStyle, World
+from repro.apps import (
+    QUOTE_INTERFACE,
+    QuoteServant,
+    SETTLEMENT_INTERFACE,
+    SettlementServant,
+    TRADING_INTERFACE,
+    TradingDeskServant,
+)
+
+
+def build_figure1_world(seed=1, la_gateways=1):
+    world = World(seed=seed, trace=False)
+    la = FaultToleranceDomain(world, "la", num_hosts=3)
+    for _ in range(la_gateways):
+        la.add_gateway(port=2809)
+    settlement = la.create_group("Settlement", SETTLEMENT_INTERFACE,
+                                 SettlementServant,
+                                 style=ReplicationStyle.ACTIVE)
+    la.await_stable()
+    la.await_ready(settlement)
+    settlement_ior = la.ior_for(settlement).to_string()
+
+    ny = FaultToleranceDomain(world, "ny", num_hosts=3)
+    ny.add_gateway(port=2809)
+    ny.register_interface(SETTLEMENT_INTERFACE)
+    ny.create_group("Quotes", QUOTE_INTERFACE,
+                    lambda: QuoteServant({"ACME": 1500}),
+                    style=ReplicationStyle.ACTIVE)
+    desk = ny.create_group(
+        "Desk", TRADING_INTERFACE,
+        lambda: TradingDeskServant(quote_group="Quotes",
+                                   settlement_target=settlement_ior,
+                                   settlement_interface="Settlement"),
+        style=ReplicationStyle.ACTIVE)
+    ny.await_stable()
+
+    browser = world.add_host("sb-browser")
+    orb = Orb(world, browser, request_timeout=None)
+    layer = FtClientLayer(orb, client_uid="customer/sb")
+    stub = layer.string_to_object(ny.ior_for(desk).to_string(),
+                                  TRADING_INTERFACE)
+    return world, la, ny, settlement, desk, stub
+
+
+def run_scenario():
+    world, la, ny, settlement, desk, stub = build_figure1_world()
+
+    t0 = world.now
+    world.await_promise(stub.call("position", "alice", "ACME"), timeout=600)
+    local_latency = world.now - t0
+
+    t0 = world.now
+    world.await_promise(stub.call("buy", "alice", "ACME", 100), timeout=600)
+    cross_latency = world.now - t0
+
+    world.run(until=world.now + 1.0)
+    settled = {rm.replicas[settlement.group_id].servant.settled_count()
+               for rm in la.rms.values()
+               if settlement.group_id in rm.replicas}
+    return {
+        "local_op_latency_s": round(local_latency, 4),
+        "cross_domain_op_latency_s": round(cross_latency, 4),
+        "wan_roundtrips_extra": round((cross_latency - local_latency) / 0.080, 2),
+        "settlements": settled.pop() if len(settled) == 1 else settled,
+    }
+
+
+def test_fig1_multidomain_topology(benchmark):
+    row = benchmark.pedantic(run_scenario, rounds=2, iterations=1)
+    # Shape: the cross-domain op pays >= 1 extra WAN round trip (80 ms).
+    assert row["cross_domain_op_latency_s"] > row["local_op_latency_s"] + 0.06
+    # Exactly-once settlement across the domain boundary.
+    assert row["settlements"] == 1
+    benchmark.extra_info.update(row)
+
+
+def test_fig1_gateway_failures_do_not_break_the_path(benchmark):
+    def run():
+        world, la, ny, settlement, desk, stub = build_figure1_world(
+            seed=2, la_gateways=2)
+        world.await_promise(stub.call("buy", "alice", "ACME", 1), timeout=600)
+        world.faults.crash_now(la.gateways[0].host.name)
+        # New orders keep settling through the redundant LA gateway —
+        # the desk's egress traverses the multi-profile IOR.
+        world.await_promise(stub.call("buy", "alice", "ACME", 2), timeout=600)
+        world.run(until=world.now + 1.0)
+        counts = {rm.replicas[settlement.group_id].servant.settled_count()
+                  for rm in la.rms.values()
+                  if settlement.group_id in rm.replicas and rm.alive}
+        return {"settlements": counts.pop() if len(counts) == 1 else counts}
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row["settlements"] == 2
+    benchmark.extra_info.update(row)

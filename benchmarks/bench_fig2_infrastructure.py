@@ -1,0 +1,89 @@
+"""E2 (Figure 2): the cost of the Eternal infrastructure's path.
+
+Figure 2 shows the invocation path: application -> (interceptor) ->
+Replication Mechanisms -> Totem -> replicas, instead of a direct IIOP
+TCP hop.  The benchmark measures, in simulated time:
+
+* the end-to-end latency of an unreplicated CORBA invocation over plain
+  TCP (the path Eternal replaces), and
+* the latency of the same invocation on a replicated group, swept over
+  replication degree,
+
+reporting the multicast path's overhead — the shape is a roughly
+constant additive cost (one token rotation) that grows mildly with the
+degree, not a multiplicative blow-up.
+"""
+
+import pytest
+
+from repro import Orb, World
+from repro.apps import COUNTER_INTERFACE, CounterServant
+
+from common import build_domain, counter_group
+
+OPERATIONS = 20
+
+
+def run_plain_orb():
+    """Baseline: unreplicated client -> unreplicated server, same LAN."""
+    world = World(seed=5, trace=False)
+    server_host = world.add_host("server", site="lan")
+    client_host = world.add_host("client", site="lan")
+    server_orb = Orb(world, server_host)
+    server_orb.listen(9000)
+    ior = server_orb.activate_object(CounterServant())
+    client_orb = Orb(world, client_host, request_timeout=None)
+    stub = client_orb.string_to_object(ior.to_string(), COUNTER_INTERFACE)
+    world.await_promise(stub.call("increment", 1))  # connection setup
+    t0 = world.now
+    for _ in range(OPERATIONS):
+        world.await_promise(stub.call("increment", 1))
+    return (world.now - t0) / OPERATIONS
+
+
+def run_replicated(degree):
+    """Replicated path: driver -> RM -> Totem -> replicas -> responses."""
+    world = World(seed=5, trace=False)
+    domain = build_domain(world, num_hosts=max(3, degree), gateways=0)
+    group = counter_group(domain, replicas=degree)
+    world.await_promise(group.invoke("increment", 1))
+    t0 = world.now
+    for _ in range(OPERATIONS):
+        world.await_promise(group.invoke("increment", 1))
+    return (world.now - t0) / OPERATIONS
+
+
+def test_fig2_plain_orb_baseline(benchmark):
+    latency = benchmark.pedantic(run_plain_orb, rounds=2, iterations=1)
+    benchmark.extra_info["simulated_latency_s"] = round(latency, 6)
+    assert latency < 0.01
+
+
+@pytest.mark.parametrize("degree", [1, 2, 3, 5])
+def test_fig2_replicated_invocation_path(benchmark, degree):
+    latency = benchmark.pedantic(run_replicated, args=(degree,), rounds=2,
+                                 iterations=1)
+    baseline = run_plain_orb()
+    benchmark.extra_info.update({
+        "degree": degree,
+        "simulated_latency_s": round(latency, 6),
+        "overhead_vs_plain_x": round(latency / baseline, 2),
+    })
+    # Shape: the total-order path costs more than a raw TCP hop but
+    # stays within a small constant factor, and does not explode with
+    # the replication degree (all replicas are reached by ONE multicast).
+    assert latency > baseline
+    assert latency < baseline * 40
+
+
+def test_fig2_degree_scaling_is_flat(benchmark):
+    """Adding replicas must not multiply the invocation latency: the
+    multicast reaches all of them in one total-order slot."""
+
+    def run():
+        return {degree: run_replicated(degree) for degree in (1, 5)}
+
+    latencies = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(
+        {f"latency_n{k}_s": round(v, 6) for k, v in latencies.items()})
+    assert latencies[5] < latencies[1] * 2.5

@@ -1,0 +1,99 @@
+"""E4 (Figure 4): message formats and header overhead.
+
+Figure 4 gives three message layouts: (a) client <-> gateway (bare
+IIOP), (b) gateway -> domain and (c) intra-domain (multicast header +
+FT/gateway header + IIOP).  This benchmark regenerates the byte-level
+table — the size of each layout for a representative invocation — and
+measures encode/decode throughput of the header machinery (the work
+added to every message crossing the gateway).
+"""
+
+from repro.core import (
+    OperationId,
+    UNUSED_CLIENT_ID,
+    decode_ft_header,
+    encode_ft_header,
+    encode_multicast_message,
+    header_overhead,
+)
+from repro.iiop import RequestMessage, encode_request
+from repro.iiop.service_context import ClientIdContext
+
+
+def representative_request(enhanced=False):
+    contexts = []
+    if enhanced:
+        contexts.append(ClientIdContext("customer/sb/1").to_service_context())
+    return encode_request(RequestMessage(
+        request_id=42,
+        response_expected=True,
+        object_key=b"ftdomain/trading/10",
+        operation="buy",
+        service_contexts=contexts,
+        body=b"\x00" * 24,
+    ))
+
+
+def format_table():
+    """The Figure 4 table: bytes per layout."""
+    plain_iiop = representative_request(enhanced=False)
+    enhanced_iiop = representative_request(enhanced=True)
+    op = OperationId(0, 42)
+    gateway_to_domain = encode_multicast_message(
+        client_id=7, source_group=1, target_group=10, op_id=op,
+        timestamp=0, iiop=plain_iiop, ring_generation=1,
+        sequence_number=120, sender="gw0")
+    intra_domain = encode_multicast_message(
+        client_id=UNUSED_CLIENT_ID, source_group=10, target_group=11,
+        op_id=OperationId(120, 1), timestamp=0, iiop=plain_iiop,
+        ring_generation=1, sequence_number=121, sender="h0")
+    return {
+        "a_client_gateway_iiop_bytes": len(plain_iiop),
+        "a_enhanced_client_iiop_bytes": len(enhanced_iiop),
+        "enhanced_context_overhead_bytes": len(enhanced_iiop) - len(plain_iiop),
+        "b_gateway_to_domain_bytes": len(gateway_to_domain),
+        "c_intra_domain_bytes": len(intra_domain),
+        "ft_header_overhead_bytes": header_overhead(7),
+    }
+
+
+def test_fig4_format_sizes(benchmark):
+    table = benchmark.pedantic(format_table, rounds=5, iterations=10)
+    # Shapes: the FT/gateway header is a small constant (tens of bytes);
+    # layouts (b) and (c) are the IIOP message plus bounded headers; the
+    # enhanced client's service context costs a few dozen bytes.
+    assert table["ft_header_overhead_bytes"] <= 64
+    assert table["b_gateway_to_domain_bytes"] < 2 * table["a_client_gateway_iiop_bytes"]
+    assert 8 <= table["enhanced_context_overhead_bytes"] <= 96
+    benchmark.extra_info.update(table)
+
+
+def test_fig4_header_encode_throughput(benchmark):
+    op = OperationId(120, 3)
+
+    def encode():
+        return encode_ft_header("customer/sb/1#1", 1, 10, op, 171)
+
+    data = benchmark(encode)
+    benchmark.extra_info["header_bytes"] = len(data)
+
+
+def test_fig4_header_decode_throughput(benchmark):
+    data = encode_ft_header("customer/sb/1#1", 1, 10, OperationId(120, 3), 171)
+    decoded = benchmark(decode_ft_header, data)
+    assert decoded[0] == "customer/sb/1#1"
+
+
+def test_fig4_full_request_encode_throughput(benchmark):
+    """The gateway-side cost of re-framing one client request."""
+    iiop = representative_request(enhanced=True)
+    op = OperationId(0, 42)
+
+    def reframe():
+        return encode_multicast_message(
+            client_id="customer/sb/1#1", source_group=1, target_group=10,
+            op_id=op, timestamp=0, iiop=iiop, ring_generation=1,
+            sequence_number=120, sender="gw0")
+
+    message = benchmark(reframe)
+    assert len(message) > len(iiop)

@@ -1,0 +1,120 @@
+"""E9 (section 2, ablation): replication styles compared.
+
+The paper's fault tolerance properties include the replication style
+(stateless / cold passive / warm passive / active / active+voting).
+This ablation quantifies the classic trade-off on identical workloads:
+
+* steady-state cost: broadcasts per operation and executions per
+  operation (active executes at n replicas, passive at 1);
+* failover cost: simulated time from primary/replica crash until the
+  next invocation completes, and how much replay it needed.
+
+Expected shape: ACTIVE pays n executions but fails over instantly
+(surviving replicas already have the state); WARM_PASSIVE pays a state
+update per operation and a short failover; COLD_PASSIVE is cheapest in
+steady state and slowest to fail over (checkpoint restore + log replay).
+"""
+
+import pytest
+
+from repro import ReplicationStyle, World
+
+from common import build_domain, counter_group
+
+STYLES = [
+    ReplicationStyle.ACTIVE,
+    ReplicationStyle.WARM_PASSIVE,
+    ReplicationStyle.COLD_PASSIVE,
+]
+OPERATIONS = 12
+
+
+def run_steady_state(style):
+    world = World(seed=90, trace=False)
+    domain = build_domain(world, num_hosts=4, gateways=0)
+    group = counter_group(domain, style=style, replicas=3,
+                          checkpoint_interval=4)
+    world.await_promise(group.invoke("increment", 1), timeout=600)
+    transport = domain.transport
+    before_broadcasts = transport.broadcasts
+    before_execs = sum(rm.stats["invocations_executed"]
+                       for rm in domain.rms.values())
+    for _ in range(OPERATIONS):
+        world.await_promise(group.invoke("increment", 1), timeout=600)
+    world.run(until=world.now + 0.5)
+    execs = sum(rm.stats["invocations_executed"]
+                for rm in domain.rms.values()) - before_execs
+    return {
+        "style": style.value,
+        "broadcasts_per_op": round(
+            (transport.broadcasts - before_broadcasts) / OPERATIONS, 2),
+        "executions_per_op": round(execs / OPERATIONS, 2),
+    }
+
+
+def run_failover(style):
+    world = World(seed=91, trace=False)
+    domain = build_domain(world, num_hosts=4, gateways=0)
+    # Interval of 5 leaves a non-empty log suffix after 12 operations
+    # (checkpoints at 5 and 10), so cold-passive failover must replay.
+    group = counter_group(domain, style=style, replicas=3, min_replicas=2,
+                          checkpoint_interval=5)
+    for _ in range(OPERATIONS):
+        world.await_promise(group.invoke("increment", 1), timeout=600)
+    world.run(until=world.now + 0.2)
+    info = group.info()
+    victim = info.primary(domain.coordinator_rm().live_hosts)
+    t0 = world.now
+    world.faults.crash_now(victim)
+    value = world.await_promise(group.invoke("increment", 1), timeout=600)
+    failover = world.now - t0
+    replays = sum(rm.stats["replays"] for rm in domain.rms.values())
+    return {
+        "style": style.value,
+        "failover_latency_s": round(failover, 4),
+        "replayed_ops": replays,
+        "state_correct": value == OPERATIONS + 1,
+    }
+
+
+@pytest.mark.parametrize("style", STYLES, ids=lambda s: s.value)
+def test_styles_steady_state_cost(benchmark, style):
+    row = benchmark.pedantic(run_steady_state, args=(style,), rounds=2,
+                             iterations=1)
+    benchmark.extra_info.update(row)
+    if style is ReplicationStyle.ACTIVE:
+        assert row["executions_per_op"] == 3.0       # every replica executes
+    else:
+        assert row["executions_per_op"] == 1.0       # primary only
+    if style is ReplicationStyle.WARM_PASSIVE:
+        # invocation + state update + response >= active's message count.
+        assert row["broadcasts_per_op"] >= 3.0
+
+
+@pytest.mark.parametrize("style", STYLES, ids=lambda s: s.value)
+def test_styles_failover(benchmark, style):
+    row = benchmark.pedantic(run_failover, args=(style,), rounds=2,
+                             iterations=1)
+    benchmark.extra_info.update(row)
+    assert row["state_correct"]
+    if style is ReplicationStyle.ACTIVE:
+        assert row["replayed_ops"] == 0              # nothing to replay
+    if style is ReplicationStyle.COLD_PASSIVE:
+        assert row["replayed_ops"] >= 1              # log suffix replayed
+
+
+def test_styles_comparison_table(benchmark):
+    """One row per style — the E9 summary table."""
+
+    def run():
+        return {style.value: {**run_steady_state(style), **run_failover(style)}
+                for style in STYLES}
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    active = table["active"]
+    cold = table["cold_passive"]
+    # Shapes: active executes 3x more, cold replays more at failover.
+    assert active["executions_per_op"] > cold["executions_per_op"]
+    assert cold["replayed_ops"] >= active["replayed_ops"]
+    for style, row in table.items():
+        benchmark.extra_info[style] = row

@@ -1,0 +1,110 @@
+"""E7 (section 3.4): what gateway failure costs a plain-ORB client.
+
+The paper argues that with existing ORBs (single usable profile, no
+client identification), the gateway is a single point of failure:
+
+1. outstanding invocations are lost with the gateway and their fate is
+   unknown to the client — we show the invocation both EXECUTED inside
+   the domain and produced COMM_FAILURE outside;
+2. a retry through another gateway cannot be recognised as a
+   reinvocation (fresh counter id) and re-executes — corrupting state;
+3. a response that outlives its gateway is unroutable at any peer.
+
+Each scenario is measured and its state damage quantified.
+"""
+
+from repro import CommFailure, World
+
+from common import build_domain, counter_group, external_stub, replica_values
+
+
+def crash_gateway_on_response(world, gateway):
+    def crash_instead(_msg):
+        world.faults.crash_now(gateway.host.name)
+    gateway._on_domain_response = crash_instead
+
+
+def run_lost_invocation():
+    world = World(seed=34, trace=False)
+    domain = build_domain(world, gateways=1, mirror=False)
+    group = counter_group(domain)
+    stub, _ = external_stub(world, domain, group, enhanced=False)
+    world.await_promise(stub.call("increment", 1), timeout=600)
+    crash_gateway_on_response(world, domain.gateways[0])
+    promise = stub.call("increment", 10)
+    failed = False
+    try:
+        world.await_promise(promise, timeout=600)
+    except CommFailure:
+        failed = True
+    world.run(until=world.now + 1.0)
+    values = set(replica_values(domain, group).values())
+    return {
+        "client_saw_comm_failure": failed,
+        "domain_executed_anyway": values == {11},
+        "replica_value": values.pop(),
+    }
+
+
+def run_duplicate_on_retry():
+    world = World(seed=35, trace=False)
+    domain = build_domain(world, gateways=1, mirror=False)
+    group = counter_group(domain)
+    stub, _ = external_stub(world, domain, group, enhanced=False)
+    world.await_promise(stub.call("increment", 1), timeout=600)
+    crash_gateway_on_response(world, domain.gateways[0])
+    try:
+        world.await_promise(stub.call("increment", 10), timeout=600)
+    except CommFailure:
+        pass
+    world.run(until=world.now + 1.0)
+    domain.add_gateway(port=2809, mirror_requests=False)
+    domain.await_stable()
+    retry_stub, _ = external_stub(world, domain, group, enhanced=False,
+                                  host_name="browser2")
+    world.await_promise(retry_stub.call("increment", 10), timeout=600)
+    values = set(replica_values(domain, group).values())
+    return {
+        "replica_value": values.pop(),
+        "expected_if_exactly_once": 11,
+        "duplicated": True,
+    }
+
+
+def test_sec34_outstanding_invocation_lost(benchmark):
+    row = benchmark.pedantic(run_lost_invocation, rounds=2, iterations=1)
+    assert row["client_saw_comm_failure"]
+    assert row["domain_executed_anyway"]
+    benchmark.extra_info.update(row)
+
+
+def test_sec34_retry_duplicates_execution(benchmark):
+    row = benchmark.pedantic(run_duplicate_on_retry, rounds=1, iterations=1)
+    # 1 + 10 (lost) + 10 (retry) = 21: the duplication the paper warns of.
+    assert row["replica_value"] == 21
+    assert row["replica_value"] != row["expected_if_exactly_once"]
+    benchmark.extra_info.update(row)
+
+
+def test_sec34_peer_gateway_cannot_route_orphaned_response(benchmark):
+    def run():
+        world = World(seed=36, trace=False)
+        domain = build_domain(world, gateways=2, mirror=False)
+        group = counter_group(domain)
+        peer = domain.gateways[1]
+        stub, _ = external_stub(world, domain, group, enhanced=False)
+        crash_gateway_on_response(world, domain.gateways[0])
+        try:
+            world.await_promise(stub.call("increment", 5), timeout=600)
+        except CommFailure:
+            pass
+        world.run(until=world.now + 1.0)
+        return {
+            "peer_responses_unexpected": peer.stats["responses_unexpected"],
+            "peer_responses_delivered": peer.stats["responses_delivered"],
+        }
+
+    row = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert row["peer_responses_unexpected"] >= 1
+    assert row["peer_responses_delivered"] == 0
+    benchmark.extra_info.update(row)

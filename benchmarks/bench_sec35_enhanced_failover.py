@@ -1,0 +1,109 @@
+"""E8 (section 3.5): redundant gateways + the enhanced client layer.
+
+The paper's remedy for section 3.4: multi-profile IORs, gateway-group
+request mirroring, unique client identifiers, reissue on failover.
+Measured here:
+
+* failover latency — simulated time from gateway crash to the client
+  holding the response it was owed;
+* exactly-once guarantee — replica state after the failover equals the
+  state of a failure-free run;
+* the cost of mirroring — extra multicasts per request with mirroring
+  on vs off (the price of gateway-group recording).
+"""
+
+import pytest
+
+from repro import World
+
+from common import build_domain, counter_group, external_stub, replica_values
+
+
+def crash_gateway_on_response(world, gateway):
+    def crash_instead(_msg):
+        world.faults.crash_now(gateway.host.name)
+    gateway._on_domain_response = crash_instead
+
+
+def run_failover(gateways=2):
+    world = World(seed=350, trace=False)
+    domain = build_domain(world, gateways=gateways, mirror=True)
+    group = counter_group(domain)
+    stub, layer = external_stub(world, domain, group, enhanced=True)
+    world.await_promise(stub.call("increment", 1), timeout=600)
+    crash_gateway_on_response(world, domain.gateways[0])
+    t0 = world.now
+    result = world.await_promise(stub.call("increment", 10), timeout=600)
+    failover_latency = world.now - t0
+    world.run(until=world.now + 1.0)
+    values = set(replica_values(domain, group).values())
+    return {
+        "result": result,
+        "replica_value": values.pop(),
+        "failover_latency_s": round(failover_latency, 4),
+        "failovers": len(layer.failover_log),
+        "reissued": stub.requester.stats["reissued"],
+    }
+
+
+def test_sec35_transparent_failover_exactly_once(benchmark):
+    row = benchmark.pedantic(run_failover, rounds=2, iterations=1)
+    assert row["result"] == 11          # the client got its answer
+    assert row["replica_value"] == 11   # and nothing executed twice
+    assert row["failovers"] >= 1
+    assert row["reissued"] >= 1
+    benchmark.extra_info.update(row)
+
+
+def test_sec35_failover_latency_bounded(benchmark):
+    row = benchmark.pedantic(run_failover, rounds=2, iterations=1)
+    # Shape: detection (TCP close notice) + reconnect + reissue + reply:
+    # a handful of WAN round trips, not an unbounded outage.
+    assert row["failover_latency_s"] < 1.0
+    benchmark.extra_info.update(row)
+
+
+@pytest.mark.parametrize("mirror", [False, True])
+def test_sec35_mirroring_cost(benchmark, mirror):
+    """Multicasts per client request, with and without gateway-group
+    mirroring — the overhead section 3.5's guarantees are bought with."""
+
+    def run():
+        world = World(seed=351, trace=False)
+        domain = build_domain(world, gateways=2, mirror=mirror)
+        group = counter_group(domain)
+        stub, _ = external_stub(world, domain, group, enhanced=True)
+        world.await_promise(stub.call("increment", 1), timeout=600)
+        transport = domain.transport
+        before = transport.broadcasts
+        for _ in range(10):
+            world.await_promise(stub.call("increment", 1), timeout=600)
+        world.run(until=world.now + 0.5)
+        return {"broadcasts_per_request": (transport.broadcasts - before) / 10}
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"mirror": mirror, **row})
+    if mirror:
+        # invocation + mirror + responses: strictly more than without.
+        assert row["broadcasts_per_request"] >= 5
+    else:
+        assert row["broadcasts_per_request"] >= 4
+
+
+def test_sec35_second_failover_also_survived(benchmark):
+    def run():
+        world = World(seed=352, trace=False)
+        domain = build_domain(world, gateways=3, mirror=True)
+        group = counter_group(domain)
+        stub, layer = external_stub(world, domain, group, enhanced=True)
+        world.await_promise(stub.call("increment", 1), timeout=600)
+        world.faults.crash_now(domain.gateways[0].host.name)
+        world.await_promise(stub.call("increment", 1), timeout=600)
+        world.faults.crash_now(domain.gateways[1].host.name)
+        result = world.await_promise(stub.call("increment", 1), timeout=600)
+        return {"final": result, "failovers": len(layer.failover_log)}
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert row["final"] == 3
+    assert row["failovers"] >= 2
+    benchmark.extra_info.update(row)

@@ -1,0 +1,101 @@
+"""E2b: Totem substrate microbenchmarks (ring size sweep).
+
+Eternal's costs (Figure 2) bottom out in the multicast substrate, so we
+characterise it separately: multicast delivery latency and sustained
+throughput as the ring grows, and the reformation time after a member
+crash (the component of every failover that is pure protocol).
+"""
+
+import pytest
+
+from repro.sim import World
+from repro.totem import TotemMember, TotemTransport
+
+MESSAGES = 40
+
+
+def build_ring(world, size):
+    transport = TotemTransport(world.network, "d")
+    members, delivered = [], {}
+    for i in range(size):
+        host = world.add_host(f"r{i}", site="lan")
+        member = TotemMember(host, f"r{i}", transport)
+        delivered[member.name] = []
+        member.on_deliver(lambda seq, snd, p, n=member.name:
+                          delivered[n].append(p))
+        members.append(member)
+    for member in members:
+        member.start()
+    world.scheduler.run_until(
+        lambda: all(m.state == TotemMember.OPERATIONAL and
+                    len(m.members) == size for m in members), timeout=60.0)
+    return members, delivered
+
+
+def run_latency(size):
+    world = World(seed=200 + size, trace=False)
+    members, delivered = build_ring(world, size)
+    t0 = world.now
+    for i in range(MESSAGES):
+        members[i % size].multicast(i)
+    world.scheduler.run_until(
+        lambda: all(len(delivered[m.name]) == MESSAGES for m in members),
+        timeout=600.0)
+    elapsed = world.now - t0
+    return {
+        "ring_size": size,
+        "simulated_per_message_s": round(elapsed / MESSAGES, 6),
+        "identical_order": len({tuple(delivered[m.name])
+                                for m in members}) == 1,
+    }
+
+
+def run_reformation(size):
+    world = World(seed=300 + size, trace=False)
+    members, delivered = build_ring(world, size)
+    t0 = world.now
+    world.faults.crash_now(members[size // 2].name)
+    survivors = [m for m in members if m.name != members[size // 2].name]
+    world.scheduler.run_until(
+        lambda: all(m.state == TotemMember.OPERATIONAL and
+                    len(m.members) == size - 1 for m in survivors),
+        timeout=600.0)
+    return {"ring_size": size,
+            "reformation_s": round(world.now - t0, 4)}
+
+
+@pytest.mark.parametrize("size", [2, 3, 5, 8])
+def test_totem_multicast_latency_by_ring_size(benchmark, size):
+    row = benchmark.pedantic(run_latency, args=(size,), rounds=2,
+                             iterations=1)
+    assert row["identical_order"]
+    # Shape: per-message cost grows roughly with rotation time (linear
+    # in ring size), far below a naive n^2 unicast mesh.
+    assert row["simulated_per_message_s"] < 0.010 * size
+    benchmark.extra_info.update(row)
+
+
+@pytest.mark.parametrize("size", [3, 5, 8])
+def test_totem_reformation_time(benchmark, size):
+    row = benchmark.pedantic(run_reformation, args=(size,), rounds=2,
+                             iterations=1)
+    # Reformation = token-loss timeout + gather + commit: tens of ms,
+    # dominated by the loss timeout, nearly flat in ring size.
+    assert 0.02 < row["reformation_s"] < 0.2
+    benchmark.extra_info.update(row)
+
+
+def test_totem_wall_clock_throughput(benchmark):
+    """Events-per-second the simulator sustains for a busy 4-ring."""
+    def run():
+        world = World(seed=999, trace=False)
+        members, delivered = build_ring(world, 4)
+        for i in range(200):
+            members[i % 4].multicast(i)
+        world.scheduler.run_until(
+            lambda: all(len(delivered[m.name]) == 200 for m in members),
+            timeout=600.0)
+        return world.scheduler.events_processed
+
+    events = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["events_processed"] = events

@@ -1,0 +1,77 @@
+"""E11 (extension): latency under realistic load models.
+
+The paper's motivating deployment is many browser customers against one
+gateway.  This extension experiment measures client-observed latency
+percentiles under a closed-loop population and under an open-loop
+arrival process, for write-heavy and read-mostly mixes — the
+characterisation a downstream adopter needs for capacity planning.
+"""
+
+import pytest
+
+from repro import World
+
+from common import build_domain, counter_group, external_stub
+from workloads import closed_loop, open_loop, percentiles, read_mostly, write_heavy
+
+
+def build(seed, clients):
+    world = World(seed=seed, trace=False)
+    domain = build_domain(world, gateways=1)
+    group = counter_group(domain)
+    stubs = []
+    for i in range(clients):
+        stub, _ = external_stub(world, domain, group, enhanced=True,
+                                host_name=f"client{i}")
+        stubs.append(stub)
+    return world, domain, group, stubs
+
+
+@pytest.mark.parametrize("mix_name,mix", [("write_heavy", write_heavy),
+                                          ("read_mostly", read_mostly)])
+def test_closed_loop_population(benchmark, mix_name, mix):
+    def run():
+        world, domain, group, stubs = build(seed=42, clients=4)
+        latencies = closed_loop(world, stubs, operations=6, mix=mix, seed=1)
+        return percentiles(latencies)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Every request pays at least the WAN round trip; the tail stays
+    # within a small multiple of it (no pathological queueing).
+    assert stats["p50"] >= 0.080
+    assert stats["p99"] < 0.080 * 5
+    benchmark.extra_info.update({"mix": mix_name, **stats})
+
+
+def test_open_loop_arrivals(benchmark):
+    def run():
+        world, domain, group, stubs = build(seed=43, clients=1)
+        latencies = open_loop(world, stubs[0], rate_per_s=40.0,
+                              duration_s=2.0, mix=write_heavy, seed=2)
+        return percentiles(latencies)
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert stats["count"] >= 40  # ~80 expected over 2 s at 40/s
+    assert stats["p95"] < 0.5
+    benchmark.extra_info.update(stats)
+
+
+def test_latency_vs_population(benchmark):
+    """Closed-loop population sweep: the knee where the total order
+    (not the WAN) becomes the bottleneck."""
+
+    def run():
+        table = {}
+        for clients in (1, 4, 8):
+            world, domain, group, stubs = build(seed=44, clients=clients)
+            latencies = closed_loop(world, stubs, operations=5,
+                                    mix=write_heavy, seed=3)
+            table[clients] = percentiles(latencies)["p50"]
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({f"p50_{k}_clients": v
+                                 for k, v in table.items()})
+    # Median latency should degrade only mildly up to 8 clients: the
+    # ring pipelines independent requests.
+    assert table[8] < table[1] * 3

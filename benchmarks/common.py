@@ -1,0 +1,58 @@
+"""Shared builders for the benchmark harness.
+
+Every benchmark constructs a fresh deterministic :class:`World`, drives
+a complete scenario, and reports two kinds of numbers:
+
+* **wall-clock** timings via pytest-benchmark — how fast this
+  implementation executes the scenario (simulator throughput);
+* **simulated** metrics (latencies in simulated seconds, message and
+  suppression counts) attached to ``benchmark.extra_info`` — these are
+  the reproduction's analogue of the paper's reported behaviour, and
+  the numbers EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FaultToleranceDomain,
+    FtClientLayer,
+    Orb,
+    ReplicationStyle,
+)
+from repro.apps import COUNTER_INTERFACE, CounterServant
+
+
+def build_domain(world, name="dom", num_hosts=3, gateways=1, mirror=True):
+    domain = FaultToleranceDomain(world, name, num_hosts=num_hosts)
+    for _ in range(gateways):
+        domain.add_gateway(port=2809, mirror_requests=mirror)
+    domain.await_stable()
+    return domain
+
+
+def counter_group(domain, style=ReplicationStyle.ACTIVE, replicas=3,
+                  name="Counter", **kwargs):
+    group = domain.create_group(name, COUNTER_INTERFACE, CounterServant,
+                                style=style, num_replicas=replicas, **kwargs)
+    domain.await_ready(group)
+    return group
+
+
+def external_stub(world, domain, group, enhanced=True, host_name="browser",
+                  first_gateway_only=False):
+    host = (world.network.hosts.get(host_name) or world.add_host(host_name))
+    orb = Orb(world, host, request_timeout=None)
+    ior = domain.ior_for(group, first_gateway_only=first_gateway_only)
+    if enhanced:
+        layer = FtClientLayer(orb)
+        return layer.string_to_object(ior.to_string(), group.interface), layer
+    return orb.string_to_object(ior.to_string(), group.interface), None
+
+
+def replica_values(domain, group):
+    values = {}
+    for host_name, rm in domain.rms.items():
+        record = rm.replicas.get(group.group_id)
+        if record is not None and rm.alive:
+            values[host_name] = record.servant.count
+    return values

@@ -1,0 +1,26 @@
+"""Benchmark-session additions: print the reproduction metrics.
+
+pytest-benchmark's table shows wall-clock timings; the numbers that
+matter for the reproduction (simulated latencies, suppression counts,
+byte sizes) live in each benchmark's ``extra_info``.  This hook prints
+them at the end of the session so `pytest benchmarks/ --benchmark-only`
+shows paper-relevant results without needing --benchmark-json.
+"""
+
+from __future__ import annotations
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    session = getattr(config, "_benchmarksession", None)
+    if session is None or not getattr(session, "benchmarks", None):
+        return
+    rows = [(bench.name, bench.extra_info)
+            for bench in session.benchmarks if bench.extra_info]
+    if not rows:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_sep(
+        "-", "reproduction metrics (simulated time / counts)")
+    for name, extra in sorted(rows):
+        rendered = ", ".join(f"{key}={value}" for key, value in extra.items())
+        terminalreporter.write_line(f"{name}: {rendered}")

@@ -1,0 +1,128 @@
+"""Workload generators for the benchmark harness.
+
+Two classic load models over any stub-like object:
+
+* :func:`closed_loop` — a fixed population of clients, each issuing the
+  next request when the previous reply arrives (optionally after think
+  time).  Models the paper's interactive browser users.
+* :func:`open_loop` — requests arrive by a seeded exponential process
+  regardless of completions.  Models aggregate internet traffic hitting
+  a gateway.
+
+Both record per-request simulated latencies; :func:`percentiles`
+summarises them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.sim.world import Promise, World
+
+Op = Tuple[str, tuple]  # (operation name, args)
+
+
+def closed_loop(
+    world: World,
+    stubs: Sequence[Any],
+    operations: int,
+    mix: Callable[[random.Random, int], Op],
+    think_time: float = 0.0,
+    seed: int = 0,
+    timeout: float = 600.0,
+) -> List[float]:
+    """Run ``operations`` requests per stub, each stub sequentially.
+
+    Returns the list of per-request simulated latencies.
+    """
+    rng = random.Random(seed)
+    latencies: List[float] = []
+    done_flags = {"remaining": len(stubs) * operations}
+
+    def issue(stub, remaining: int) -> None:
+        if remaining == 0:
+            return
+        name, args = mix(rng, remaining)
+        started = world.now
+        promise = stub.call(name, *args)
+
+        def on_done(p: Promise) -> None:
+            latencies.append(world.now - started)
+            done_flags["remaining"] -= 1
+            if remaining > 1:
+                if think_time > 0:
+                    world.scheduler.call_after(
+                        think_time, issue, stub, remaining - 1)
+                else:
+                    issue(stub, remaining - 1)
+
+        promise.on_done(on_done)
+
+    for stub in stubs:
+        issue(stub, operations)
+    world.scheduler.run_until(lambda: done_flags["remaining"] == 0,
+                              timeout=timeout)
+    return latencies
+
+
+def open_loop(
+    world: World,
+    stub: Any,
+    rate_per_s: float,
+    duration_s: float,
+    mix: Callable[[random.Random, int], Op],
+    seed: int = 0,
+    timeout: float = 600.0,
+) -> List[float]:
+    """Issue requests with exponential inter-arrival times for
+    ``duration_s`` of simulated time; wait for all completions."""
+    rng = random.Random(seed)
+    latencies: List[float] = []
+    state = {"issued": 0, "completed": 0, "closed": False}
+    deadline = world.now + duration_s
+
+    def arrive() -> None:
+        if world.now >= deadline:
+            state["closed"] = True
+            return
+        name, args = mix(rng, state["issued"])
+        state["issued"] += 1
+        started = world.now
+        promise = stub.call(name, *args)
+
+        def on_done(p: Promise) -> None:
+            latencies.append(world.now - started)
+            state["completed"] += 1
+
+        promise.on_done(on_done)
+        world.scheduler.call_after(rng.expovariate(rate_per_s), arrive)
+
+    arrive()
+    world.scheduler.run_until(
+        lambda: state["closed"] and state["completed"] == state["issued"],
+        timeout=timeout)
+    return latencies
+
+
+def percentiles(samples: Sequence[float],
+                points: Sequence[float] = (50, 95, 99)) -> Dict[str, float]:
+    """Nearest-rank percentiles plus mean, rounded for reporting."""
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    result = {"mean": round(sum(ordered) / len(ordered), 5),
+              "count": len(ordered)}
+    for point in points:
+        index = min(len(ordered) - 1,
+                    max(0, int(round(point / 100.0 * len(ordered))) - 1))
+        result[f"p{int(point)}"] = round(ordered[index], 5)
+    return result
+
+
+def write_heavy(rng: random.Random, _i: int) -> Op:
+    return ("increment", (1,))
+
+
+def read_mostly(rng: random.Random, _i: int) -> Op:
+    return ("value", ()) if rng.random() < 0.9 else ("increment", (1,))

@@ -1,0 +1,108 @@
+"""repro: a full reproduction of "Gateways for Accessing Fault Tolerance
+Domains" (Narasimhan, Moser, Melliar-Smith — Middleware 2000).
+
+The package builds, from scratch and in simulation, everything the
+paper describes: a deterministic distributed-systems substrate
+(:mod:`repro.sim`), the CORBA GIOP/IIOP wire stack (:mod:`repro.iiop`),
+a miniature ORB (:mod:`repro.orb`), a Totem-style totally-ordered
+multicast (:mod:`repro.totem`), the Eternal fault tolerance
+infrastructure (:mod:`repro.eternal`), and — the paper's contribution —
+the gateway mechanisms (:mod:`repro.core`).
+
+Quickstart::
+
+    from repro import (World, FaultToleranceDomain, ReplicationStyle,
+                       Orb, FtClientLayer)
+
+    world = World(seed=42)
+    domain = FaultToleranceDomain(world, "trading", num_hosts=3)
+    gateway = domain.add_gateway(port=2809)
+    group = domain.create_group("Trader", TRADER_INTERFACE,
+                                TraderServant,
+                                style=ReplicationStyle.ACTIVE)
+    domain.await_stable()
+
+    client_host = world.add_host("browser")
+    orb = Orb(world, client_host)
+    stub = FtClientLayer(orb).string_to_object(
+        domain.ior_for(group).to_string(), TRADER_INTERFACE)
+    print(world.await_promise(stub.call("buy", "ACME", 100)))
+"""
+
+from .core import (
+    DuplicateSuppressor,
+    FtClientLayer,
+    FtRequester,
+    Gateway,
+    InvocationId,
+    OperationId,
+    ResponseId,
+    UNUSED_CLIENT_ID,
+)
+from .errors import (
+    BadOperation,
+    CommFailure,
+    ConfigurationError,
+    CorbaSystemException,
+    InvocationFailure,
+    MarshalError,
+    NoResponse,
+    ObjectNotExist,
+    ReproError,
+    SimulationError,
+    TransientError,
+)
+from .eternal import (
+    FaultToleranceDomain,
+    GroupHandle,
+    GroupInfo,
+    ReplicationMechanisms,
+    ReplicationStyle,
+)
+from .iiop import Ior
+from .orb import Interface, NestedCall, Operation, Orb, Param, Servant, Stub
+from .sim import LatencyModel, Promise, World
+from .totem import TotemConfig, TotemMember
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BadOperation",
+    "CommFailure",
+    "ConfigurationError",
+    "CorbaSystemException",
+    "DuplicateSuppressor",
+    "FaultToleranceDomain",
+    "FtClientLayer",
+    "FtRequester",
+    "Gateway",
+    "GroupHandle",
+    "GroupInfo",
+    "Interface",
+    "InvocationFailure",
+    "InvocationId",
+    "Ior",
+    "LatencyModel",
+    "MarshalError",
+    "NestedCall",
+    "NoResponse",
+    "ObjectNotExist",
+    "Operation",
+    "OperationId",
+    "Orb",
+    "Param",
+    "Promise",
+    "ReplicationMechanisms",
+    "ReplicationStyle",
+    "ReproError",
+    "ResponseId",
+    "Servant",
+    "SimulationError",
+    "Stub",
+    "TotemConfig",
+    "TotemMember",
+    "TransientError",
+    "UNUSED_CLIENT_ID",
+    "World",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""Example application servants used by examples, tests, and benchmarks."""
+
+from .bank import (
+    ACCOUNT_INTERFACE,
+    AccountServant,
+    LEDGER_INTERFACE,
+    LedgerServant,
+    TRANSFER_INTERFACE,
+    TransferAgentServant,
+)
+from .counter import COUNTER_INTERFACE, CounterServant
+from .naming import NAMING_INTERFACE, NamingServant
+from .stock_trading import (
+    QUOTE_INTERFACE,
+    QuoteServant,
+    SETTLEMENT_INTERFACE,
+    SettlementServant,
+    TRADING_INTERFACE,
+    TradingDeskServant,
+)
+
+__all__ = [
+    "ACCOUNT_INTERFACE",
+    "AccountServant",
+    "COUNTER_INTERFACE",
+    "CounterServant",
+    "LEDGER_INTERFACE",
+    "LedgerServant",
+    "NAMING_INTERFACE",
+    "NamingServant",
+    "QUOTE_INTERFACE",
+    "QuoteServant",
+    "SETTLEMENT_INTERFACE",
+    "SettlementServant",
+    "TRADING_INTERFACE",
+    "TradingDeskServant",
+    "TRANSFER_INTERFACE",
+    "TransferAgentServant",
+]

@@ -1,0 +1,113 @@
+"""A replicated bank: accounts plus a transfer service with nested calls.
+
+The ``TransferAgent`` servant demonstrates the paper's Figure 6
+scenario: one parent invocation (``transfer``) performing several child
+operations (``withdraw``, ``deposit``, ``record``) on other replicated
+groups, with identifiers derived from the parent's delivery timestamp.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import InvocationFailure
+from ..iiop.types import TC_LONG, TC_STRING, TC_VOID
+from ..orb.idl import Interface, Operation, Param
+from ..orb.servant import NestedCall, Servant
+
+ACCOUNT_INTERFACE = Interface("Account", [
+    Operation("open", [Param("owner", TC_STRING)], TC_VOID),
+    Operation("deposit", [Param("owner", TC_STRING),
+                          Param("amount", TC_LONG)], TC_LONG),
+    Operation("withdraw", [Param("owner", TC_STRING),
+                           Param("amount", TC_LONG)], TC_LONG),
+    Operation("balance", [Param("owner", TC_STRING)], TC_LONG),
+])
+
+LEDGER_INTERFACE = Interface("Ledger", [
+    Operation("record", [Param("entry", TC_STRING)], TC_LONG),
+    Operation("entries", [], TC_LONG),
+])
+
+TRANSFER_INTERFACE = Interface("TransferAgent", [
+    Operation("transfer", [Param("src", TC_STRING), Param("dst", TC_STRING),
+                           Param("amount", TC_LONG)], TC_LONG),
+    Operation("transfers_done", [], TC_LONG),
+])
+
+
+class AccountServant(Servant):
+    """Multi-owner account book (one group holds many accounts)."""
+
+    interface = ACCOUNT_INTERFACE
+
+    def __init__(self) -> None:
+        self.balances: Dict[str, int] = {}
+
+    def open(self, owner: str) -> None:
+        self.balances.setdefault(owner, 0)
+
+    def deposit(self, owner: str, amount: int) -> int:
+        if amount < 0:
+            raise InvocationFailure("IDL:repro/BadAmount:1.0", str(amount))
+        self.balances[owner] = self.balances.get(owner, 0) + amount
+        return self.balances[owner]
+
+    def withdraw(self, owner: str, amount: int) -> int:
+        balance = self.balances.get(owner, 0)
+        if amount > balance:
+            raise InvocationFailure(
+                "IDL:repro/InsufficientFunds:1.0",
+                f"{owner} has {balance}, needs {amount}")
+        self.balances[owner] = balance - amount
+        return self.balances[owner]
+
+    def balance(self, owner: str) -> int:
+        return self.balances.get(owner, 0)
+
+
+class LedgerServant(Servant):
+    """Append-only audit ledger."""
+
+    interface = LEDGER_INTERFACE
+
+    def __init__(self) -> None:
+        self.log: List[str] = []
+
+    def record(self, entry: str) -> int:
+        self.log.append(entry)
+        return len(self.log)
+
+    def entries(self) -> int:
+        return len(self.log)
+
+
+class TransferAgentServant(Servant):
+    """Orchestrates transfers via nested invocations on other groups.
+
+    ``accounts_group`` and ``ledger_group`` are the *names* of the
+    target groups within the same fault tolerance domain.
+    """
+
+    interface = TRANSFER_INTERFACE
+
+    def __init__(self, accounts_group: str = "Accounts",
+                 ledger_group: str = "Ledger") -> None:
+        self.accounts_group = accounts_group
+        self.ledger_group = ledger_group
+        self.completed = 0
+
+    def transfer(self, src: str, dst: str, amount: int):
+        # Child operation 1: withdraw from the source account.
+        yield NestedCall(self.accounts_group, "withdraw", [src, amount])
+        # Child operation 2: deposit into the destination account.
+        new_balance = yield NestedCall(self.accounts_group, "deposit",
+                                       [dst, amount])
+        # Child operation 3: audit trail.
+        yield NestedCall(self.ledger_group, "record",
+                         [f"{src}->{dst}:{amount}"])
+        self.completed += 1
+        return new_balance
+
+    def transfers_done(self) -> int:
+        return self.completed

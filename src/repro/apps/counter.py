@@ -1,0 +1,48 @@
+"""A minimal stateful application: a replicated counter.
+
+Used by the quickstart example and by tests that need the simplest
+possible deterministic stateful servant.
+"""
+
+from __future__ import annotations
+
+from ..errors import InvocationFailure
+from ..iiop.types import TC_LONG, TC_VOID
+from ..orb.idl import Interface, Operation, Param
+from ..orb.servant import Servant
+
+COUNTER_INTERFACE = Interface("Counter", [
+    Operation("increment", [Param("amount", TC_LONG)], TC_LONG),
+    Operation("decrement", [Param("amount", TC_LONG)], TC_LONG),
+    Operation("value", [], TC_LONG),
+    Operation("reset", [], TC_VOID),
+    Operation("fail_if_negative", [], TC_VOID),
+])
+
+
+class CounterServant(Servant):
+    """A counter with a guard operation that raises a user exception."""
+
+    interface = COUNTER_INTERFACE
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def increment(self, amount: int) -> int:
+        self.count += amount
+        return self.count
+
+    def decrement(self, amount: int) -> int:
+        self.count -= amount
+        return self.count
+
+    def value(self) -> int:
+        return self.count
+
+    def reset(self) -> None:
+        self.count = 0
+
+    def fail_if_negative(self) -> None:
+        if self.count < 0:
+            raise InvocationFailure("IDL:repro/NegativeCounter:1.0",
+                                    f"count is {self.count}")

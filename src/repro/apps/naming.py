@@ -1,0 +1,67 @@
+"""A replicated CORBA Naming Service.
+
+The CORBA-era idiom for bootstrapping: clients hold one well-known IOR
+(the naming service's) and resolve everything else by name.  Replicated
+inside a fault tolerance domain and reached through the gateway, the
+naming service is itself fault-tolerant — the paper's manager objects
+follow the same pattern.
+
+``FaultToleranceDomain.enable_naming`` (see
+:mod:`repro.eternal.domain`) creates this group and auto-binds every
+subsequently created application group.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..errors import InvocationFailure
+from ..iiop.types import SequenceTC, TC_STRING, TC_VOID
+from ..orb.idl import Interface, Operation, Param
+
+NAMING_INTERFACE = Interface("NamingService", [
+    Operation("bind", [Param("name", TC_STRING),
+                       Param("ior", TC_STRING)], TC_VOID),
+    Operation("rebind", [Param("name", TC_STRING),
+                         Param("ior", TC_STRING)], TC_VOID),
+    Operation("resolve", [Param("name", TC_STRING)], TC_STRING),
+    Operation("unbind", [Param("name", TC_STRING)], TC_VOID),
+    Operation("list_names", [], SequenceTC(TC_STRING)),
+])
+
+ALREADY_BOUND = "IDL:omg.org/CosNaming/NamingContext/AlreadyBound:1.0"
+NOT_FOUND = "IDL:omg.org/CosNaming/NamingContext/NotFound:1.0"
+
+
+from ..orb.servant import Servant
+
+
+class NamingServant(Servant):
+    """Flat name -> stringified-IOR bindings (CosNaming, one level)."""
+
+    interface = NAMING_INTERFACE
+
+    def __init__(self) -> None:
+        self.bindings: Dict[str, str] = {}
+
+    def bind(self, name: str, ior: str) -> None:
+        if name in self.bindings:
+            raise InvocationFailure(ALREADY_BOUND, name)
+        self.bindings[name] = ior
+
+    def rebind(self, name: str, ior: str) -> None:
+        self.bindings[name] = ior
+
+    def resolve(self, name: str) -> str:
+        ior = self.bindings.get(name)
+        if ior is None:
+            raise InvocationFailure(NOT_FOUND, name)
+        return ior
+
+    def unbind(self, name: str) -> None:
+        if name not in self.bindings:
+            raise InvocationFailure(NOT_FOUND, name)
+        del self.bindings[name]
+
+    def list_names(self) -> List[str]:
+        return sorted(self.bindings)

@@ -1,0 +1,137 @@
+"""The paper's motivating application: Internet stock trading.
+
+Section 1: "Internet-based applications such as stock trading involve
+customers using Web browsers (typically unreplicated thin clients) to
+communicate with the servers (typically replicated for fault tolerance)
+of a stock trading company."
+
+``TradingDeskServant`` is the replicated front server the browsers
+reach through the gateway; ``SettlementServant`` models the back-office
+group it invokes (nested, possibly in another fault tolerance domain as
+in Figure 1); ``QuoteServant`` is a read-mostly price source.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import InvocationFailure
+from ..iiop.types import TC_LONG, TC_STRING, TC_VOID
+from ..orb.idl import Interface, Operation, Param
+from ..orb.servant import NestedCall, Servant
+
+QUOTE_INTERFACE = Interface("QuoteService", [
+    Operation("set_price", [Param("symbol", TC_STRING),
+                            Param("price_cents", TC_LONG)], TC_VOID),
+    Operation("price", [Param("symbol", TC_STRING)], TC_LONG),
+])
+
+SETTLEMENT_INTERFACE = Interface("Settlement", [
+    Operation("settle", [Param("order_desc", TC_STRING),
+                         Param("total_cents", TC_LONG)], TC_LONG),
+    Operation("settled_count", [], TC_LONG),
+])
+
+TRADING_INTERFACE = Interface("TradingDesk", [
+    Operation("buy", [Param("customer", TC_STRING),
+                      Param("symbol", TC_STRING),
+                      Param("shares", TC_LONG)], TC_LONG),
+    Operation("sell", [Param("customer", TC_STRING),
+                       Param("symbol", TC_STRING),
+                       Param("shares", TC_LONG)], TC_LONG),
+    Operation("position", [Param("customer", TC_STRING),
+                           Param("symbol", TC_STRING)], TC_LONG),
+    Operation("orders_executed", [], TC_LONG),
+])
+
+
+class QuoteServant(Servant):
+    """Replicated price source."""
+
+    interface = QUOTE_INTERFACE
+
+    def __init__(self, initial: Optional[Dict[str, int]] = None) -> None:
+        self.prices: Dict[str, int] = dict(initial or {})
+
+    def set_price(self, symbol: str, price_cents: int) -> None:
+        self.prices[symbol] = price_cents
+
+    def price(self, symbol: str) -> int:
+        if symbol not in self.prices:
+            raise InvocationFailure("IDL:repro/UnknownSymbol:1.0", symbol)
+        return self.prices[symbol]
+
+
+class SettlementServant(Servant):
+    """Back-office settlement group (the second domain in Figure 1)."""
+
+    interface = SETTLEMENT_INTERFACE
+
+    def __init__(self) -> None:
+        self.settlements: List[str] = []
+
+    def settle(self, order_desc: str, total_cents: int) -> int:
+        self.settlements.append(f"{order_desc}@{total_cents}")
+        return len(self.settlements)
+
+    def settled_count(self) -> int:
+        return len(self.settlements)
+
+
+class TradingDeskServant(Servant):
+    """Replicated trading front-end invoked by unreplicated browsers.
+
+    ``settlement_target`` is either a group name (same domain) or a
+    stringified IOR (another domain, reached through its gateway as in
+    Figure 1); ``quote_group`` is an in-domain group name.
+    """
+
+    interface = TRADING_INTERFACE
+
+    def __init__(self, quote_group: str = "Quotes",
+                 settlement_target: str = "Settlement",
+                 settlement_interface: str = "Settlement") -> None:
+        self.quote_group = quote_group
+        self.settlement_target = settlement_target
+        self.settlement_interface = settlement_interface
+        self.positions: Dict[str, int] = {}
+        self.executed = 0
+
+    def _key(self, customer: str, symbol: str) -> str:
+        return f"{customer}:{symbol}"
+
+    def buy(self, customer: str, symbol: str, shares: int):
+        if shares <= 0:
+            raise InvocationFailure("IDL:repro/BadOrder:1.0",
+                                    f"shares={shares}")
+        price = yield NestedCall(self.quote_group, "price", [symbol])
+        total = price * shares
+        yield NestedCall(self.settlement_target, "settle",
+                         [f"BUY {customer} {shares} {symbol}", total],
+                         interface=self.settlement_interface)
+        key = self._key(customer, symbol)
+        self.positions[key] = self.positions.get(key, 0) + shares
+        self.executed += 1
+        return self.positions[key]
+
+    def sell(self, customer: str, symbol: str, shares: int):
+        key = self._key(customer, symbol)
+        held = self.positions.get(key, 0)
+        if shares <= 0 or shares > held:
+            raise InvocationFailure(
+                "IDL:repro/BadOrder:1.0",
+                f"{customer} holds {held} {symbol}, cannot sell {shares}")
+        price = yield NestedCall(self.quote_group, "price", [symbol])
+        total = price * shares
+        yield NestedCall(self.settlement_target, "settle",
+                         [f"SELL {customer} {shares} {symbol}", total],
+                         interface=self.settlement_interface)
+        self.positions[key] = held - shares
+        self.executed += 1
+        return self.positions[key]
+
+    def position(self, customer: str, symbol: str) -> int:
+        return self.positions.get(self._key(customer, symbol), 0)
+
+    def orders_executed(self) -> int:
+        return self.executed

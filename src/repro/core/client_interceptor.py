@@ -1,0 +1,195 @@
+"""The thin client-side interception layer of paper section 3.5.
+
+Plain year-2000 ORBs cannot traverse multi-profile IORs or identify
+themselves across connections, so a single gateway is a single point of
+failure for their clients (section 3.4).  The paper's remedy — pending
+its adoption into client ORBs — is a thin interception layer on the
+client side that:
+
+* connects the client to the **first** gateway profile of the stitched
+  multi-profile IOR;
+* inserts a **unique client identifier** into the service context of
+  every IIOP request (safely ignored by ORBs that don't understand it);
+* on gateway failure, **transparently skips to the next profile**,
+  connects to the next operational gateway, and **reissues every
+  pending invocation** with the same client identifier and the same
+  request identifiers, so the new gateway (and the domain's duplicate
+  detection) can recognise reinvocations and return the original
+  responses without re-executing anything.
+
+:class:`FtClientLayer` wraps a plain :class:`~repro.orb.orb.Orb`;
+stubs created through it behave exactly like ordinary stubs, but
+survive gateway failover.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..errors import CommFailure
+from ..iiop.giop import RequestMessage, ServiceContext
+from ..iiop.ior import Ior
+from ..iiop.service_context import ClientIdContext
+from ..orb.connection import IiopClientConnection
+from ..orb.dispatch import decode_result
+from ..orb.idl import Interface, Operation
+from ..orb.orb import Orb, Requester, Stub
+from ..sim.world import Promise
+
+
+@dataclass
+class _PendingInvocation:
+    encoded: bytes
+    op: Operation
+    promise: Promise
+
+
+class FtRequester(Requester):
+    """Profile-traversing requester with reissue-on-failover."""
+
+    def __init__(self, layer: "FtClientLayer", ior: Ior) -> None:
+        self.layer = layer
+        self.orb = layer.orb
+        self.profiles: List[Tuple[str, int]] = [
+            p.address for p in ior.iiop_profiles()]
+        if not self.profiles:
+            raise CommFailure("IOR carries no IIOP profiles")
+        self.profile_index = 0
+        self.pending: Dict[int, _PendingInvocation] = {}
+        self.connection: Optional[IiopClientConnection] = None
+        self._failover_scheduled = False
+        self._failovers_since_reply = 0
+        self.stats = {"sent": 0, "reissued": 0, "failovers": 0}
+
+    # ------------------------------------------------------------------
+    # Requester interface
+    # ------------------------------------------------------------------
+
+    def service_contexts(self) -> List[ServiceContext]:
+        return [self.layer.context.to_service_context()]
+
+    def send(self, stub: Stub, op: Operation, request: RequestMessage,
+             encoded: bytes, promise: Promise) -> None:
+        if op.oneway:
+            try:
+                self._ensure_connection().send_oneway(encoded)
+            except CommFailure:
+                self._schedule_failover()
+            promise.resolve(None)
+            return
+        self.pending[request.request_id] = _PendingInvocation(
+            encoded=encoded, op=op, promise=promise)
+        self._transmit(request.request_id)
+
+    # ------------------------------------------------------------------
+    # Transmission and failover
+    # ------------------------------------------------------------------
+
+    @property
+    def current_address(self) -> Tuple[str, int]:
+        return self.profiles[self.profile_index % len(self.profiles)]
+
+    def _ensure_connection(self) -> IiopClientConnection:
+        if self.connection is None or not self.connection.usable:
+            self.connection = IiopClientConnection(
+                self.orb.tcp, self.orb.host, self.current_address)
+        return self.connection
+
+    def _transmit(self, request_id: int) -> None:
+        entry = self.pending.get(request_id)
+        if entry is None or entry.promise.done:
+            return
+        self.stats["sent"] += 1
+        connection = self._ensure_connection()
+
+        def on_reply(reply) -> None:
+            self._on_reply(request_id, reply)
+
+        def on_failure(exc: Exception) -> None:
+            self._on_request_failure(request_id, exc)
+
+        connection.send_request(entry.encoded, request_id, on_reply, on_failure)
+
+    def _on_reply(self, request_id: int, reply) -> None:
+        entry = self.pending.pop(request_id, None)
+        if entry is None or entry.promise.done:
+            return
+        self._failovers_since_reply = 0
+        try:
+            value = decode_result(entry.op, reply,
+                                  little_endian=reply.little_endian)
+        except Exception as exc:
+            entry.promise.reject(exc)
+        else:
+            entry.promise.resolve(value)
+
+    def _on_request_failure(self, request_id: int, exc: Exception) -> None:
+        if request_id not in self.pending:
+            return
+        self._schedule_failover()
+
+    def _schedule_failover(self) -> None:
+        """Coalesce the per-request failure callbacks of one connection
+        loss into a single profile advance + bulk reissue."""
+        if self._failover_scheduled:
+            return
+        self._failover_scheduled = True
+        self.orb.host.scheduler.call_soon(self._failover)
+
+    def _failover(self) -> None:
+        self._failover_scheduled = False
+        if not self.pending:
+            return
+        self._failovers_since_reply += 1
+        if self._failovers_since_reply > 2 * len(self.profiles):
+            # Every gateway profile failed repeatedly: give up like the
+            # paper's client would once the IOR is exhausted.
+            error = CommFailure("all gateway profiles unreachable")
+            for entry in list(self.pending.values()):
+                entry.promise.reject(error)
+            self.pending.clear()
+            return
+        self.stats["failovers"] += 1
+        self.profile_index = (self.profile_index + 1) % len(self.profiles)
+        self.connection = None
+        self.layer.on_failover(self.current_address)
+        for request_id in sorted(self.pending):
+            self.stats["reissued"] += 1
+            self._transmit(request_id)
+
+
+class FtClientLayer:
+    """Factory for fault-tolerance-aware stubs over a plain ORB."""
+
+    _uids = itertools.count(1)
+
+    def __init__(self, orb: Orb, client_uid: Optional[str] = None,
+                 incarnation: int = 1) -> None:
+        self.orb = orb
+        uid = client_uid or f"ftclient/{orb.host.name}/{next(FtClientLayer._uids)}"
+        self.context = ClientIdContext(client_uid=uid, incarnation=incarnation)
+        self.requesters: List[FtRequester] = []
+        self.failover_log: List[Tuple[float, Tuple[str, int]]] = []
+
+    @property
+    def client_uid(self) -> str:
+        return self.context.client_uid
+
+    def string_to_object(self, ior: Any, interface: Interface) -> Stub:
+        """Create a gateway-failover-capable stub for ``ior``."""
+        if isinstance(ior, str):
+            ior = Ior.from_string(ior)
+        requester = FtRequester(self, ior)
+        self.requesters.append(requester)
+        return Stub(self.orb, ior, interface, requester=requester)
+
+    def on_failover(self, new_address: Tuple[str, int]) -> None:
+        self.failover_log.append((self.orb.host.scheduler.now, new_address))
+
+    def restart(self) -> "FtClientLayer":
+        """Model a client process restart: a new incarnation of the same
+        identity (so gateways do not mistake it for the old process)."""
+        return FtClientLayer(self.orb, client_uid=self.context.client_uid,
+                             incarnation=self.context.incarnation + 1)

@@ -1,0 +1,119 @@
+"""Duplicate detection and suppression of responses (paper section 3.3).
+
+With active replication, *every* replica of the server returns a
+response; the receiver — a gateway, or the Replication Mechanisms of an
+invoking group — must deliver exactly one copy and discard the rest,
+comparing response identifiers.  With active-with-voting replication,
+the receiver instead delivers the first response value returned by a
+majority of replicas, masking value faults of a minority.
+
+:class:`DuplicateSuppressor` implements both receiver policies keyed by
+the (source group, client id, operation id) deduplication key, and
+remembers recently delivered operations so that late duplicates — even
+ones arriving after delivery — are still recognised and counted.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Set, Tuple
+
+
+@dataclass
+class _Pending:
+    votes_needed: int
+    counts: Dict[bytes, int] = field(default_factory=dict)
+    responders: Set[Hashable] = field(default_factory=set)
+
+
+class DuplicateSuppressor:
+    """First-wins or majority-vote response delivery with dedup."""
+
+    # offer() verdicts
+    DELIVER = "deliver"        # deliver this payload now (exactly once)
+    DUPLICATE = "duplicate"    # already delivered: suppress
+    PENDING = "pending"        # voting: not enough agreeing votes yet
+    UNEXPECTED = "unexpected"  # no expectation registered for this key
+
+    def __init__(self, remember_delivered: int = 100_000) -> None:
+        self._pending: Dict[Hashable, _Pending] = {}
+        self._delivered: "OrderedDict[Hashable, bool]" = OrderedDict()
+        self._remember = remember_delivered
+        self.stats = {
+            "delivered": 0,
+            "duplicates_suppressed": 0,
+            "votes_counted": 0,
+            "unexpected": 0,
+        }
+
+    # ------------------------------------------------------------------
+
+    def expect(self, key: Hashable, votes_needed: int = 1) -> None:
+        """Announce interest in responses for ``key``.
+
+        ``votes_needed`` is 1 for plain active/passive replication and
+        the majority size for active-with-voting.
+        """
+        if key in self._delivered or key in self._pending:
+            return
+        self._pending[key] = _Pending(votes_needed=max(1, votes_needed))
+
+    def cancel(self, key: Hashable) -> None:
+        self._pending.pop(key, None)
+
+    def is_expected(self, key: Hashable) -> bool:
+        return key in self._pending
+
+    def was_delivered(self, key: Hashable) -> bool:
+        return key in self._delivered
+
+    def offer(self, key: Hashable, payload: bytes,
+              responder: Optional[Hashable] = None) -> Tuple[str, Optional[bytes]]:
+        """Offer one response copy; returns (verdict, payload-to-deliver)."""
+        if key in self._delivered:
+            self.stats["duplicates_suppressed"] += 1
+            return (DuplicateSuppressor.DUPLICATE, None)
+        pending = self._pending.get(key)
+        if pending is None:
+            self.stats["unexpected"] += 1
+            return (DuplicateSuppressor.UNEXPECTED, None)
+        if responder is not None:
+            if responder in pending.responders:
+                # The same replica re-sent its response (e.g. recovery
+                # replay): not a fresh vote.
+                self.stats["duplicates_suppressed"] += 1
+                return (DuplicateSuppressor.DUPLICATE, None)
+            pending.responders.add(responder)
+        pending.counts[payload] = pending.counts.get(payload, 0) + 1
+        self.stats["votes_counted"] += 1
+        if pending.counts[payload] >= pending.votes_needed:
+            self._mark_delivered(key)
+            self.stats["delivered"] += 1
+            return (DuplicateSuppressor.DELIVER, payload)
+        return (DuplicateSuppressor.PENDING, None)
+
+    def forget_where(self, predicate) -> int:
+        """Drop pending expectations and delivered-memory whose key
+        matches ``predicate``; returns how many entries were removed.
+
+        Used when all state for a client is purged (CLIENT_GONE): a
+        later reincarnation of the same identifiers must be re-servable,
+        not silently suppressed.
+        """
+        removed = 0
+        for key in [k for k in self._pending if predicate(k)]:
+            del self._pending[key]
+            removed += 1
+        for key in [k for k in self._delivered if predicate(k)]:
+            del self._delivered[key]
+            removed += 1
+        return removed
+
+    # ------------------------------------------------------------------
+
+    def _mark_delivered(self, key: Hashable) -> None:
+        self._pending.pop(key, None)
+        self._delivered[key] = True
+        while len(self._delivered) > self._remember:
+            self._delivered.popitem(last=False)

@@ -1,0 +1,448 @@
+"""The gateway: entry point of a fault tolerance domain (paper section 3).
+
+A gateway is *not* a CORBA object: it is infrastructure that bridges
+two worlds whose semantics it alone understands —
+
+* **outside**: unreplicated IIOP clients over TCP/IP, addressing the
+  gateway's {host, port} (placed into published IORs by the Eternal
+  Interceptor) and believing it to be the server;
+* **inside**: the reliable totally-ordered multicast of the fault
+  tolerance domain, where replicated objects are addressed by group id.
+
+Per Figure 5, for every complete IIOP request picked off a client
+socket the gateway: obtains the TCP client identifier (from the
+section 3.5 service context if the client is enhanced, otherwise from
+the per-server-group counter of section 3.2), maps the socket to that
+identifier, generates the operation identifier, builds the Figure 4
+header, and multicasts header + IIOP message into the domain.  For
+every multicast response it: extracts the operation identifier, filters
+duplicates (one response arrives per server replica — section 3.3),
+finds the socket for the TCP client identifier, and forwards the IIOP
+reply bytes verbatim.
+
+With ``mirror_requests`` (section 3.5), each request is first multicast
+to the *gateway group* so every redundant gateway records it; the
+gateway group — not the connected gateway alone — receives the
+response, so any gateway can serve the reply after a failover, and a
+surviving gateway re-forwards requests a crashed peer had accepted but
+not yet forwarded.  Gateways also tell their peers when a client goes
+away so per-client state can be deleted everywhere.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, TYPE_CHECKING
+
+from ..errors import ObjectNotExist
+from ..iiop.giop import MsgType, decode_request, parse_header
+from ..iiop.service_context import extract_client_id
+from ..orb.connection import IiopServerConnection
+from ..orb.dispatch import reply_for_exception
+from ..sim.host import Host, Process
+from ..sim.tcp import TcpEndpoint
+from .duplicates import DuplicateSuppressor
+from .identifiers import ClientId, OperationId, external_operation_id
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..eternal.domain import FaultToleranceDomain
+    from ..eternal.messages import DomainMessage
+
+
+@dataclass
+class _PendingRequest:
+    """A client request forwarded into the domain, awaiting its response."""
+
+    client_id: ClientId
+    op_id: OperationId
+    target_group: int
+    iiop: bytes
+    forwarder: str
+    forwarded: bool = False
+    response_expected: bool = True
+
+
+class Gateway(Process):
+    """One gateway processor on the edge of a fault tolerance domain."""
+
+    _indexes = itertools.count(0)
+
+    def __init__(self, domain: "FaultToleranceDomain", host: Host, port: int,
+                 mirror_requests: bool = True,
+                 response_cache_limit: int = 10_000) -> None:
+        super().__init__(host, f"gateway@{host.name}:{port}")
+        self.domain = domain
+        self.port = port
+        self.mirror_requests = mirror_requests
+        self.response_cache_limit = response_cache_limit
+        self.index = next(Gateway._indexes)
+        self.rm = domain.rms[host.name]
+        self.rm.attach_gateway(self)
+        self.rm.on_membership_change(self._on_membership)
+        self.tracer = domain.world.tracer
+
+        self._listener = None
+        # Per-server-group client-id counters (section 3.2); the counter
+        # space is partitioned per gateway so concurrent gateways never
+        # accidentally alias (a crash/restart still reuses ids, which is
+        # the section 3.4 weakness the paper analyses).
+        self._counters: Dict[int, itertools.count] = {}
+        self._conn_ids: Dict[IiopServerConnection, ClientId] = {}
+        self._routing: Dict[ClientId, IiopServerConnection] = {}
+        self._pending: Dict[Tuple[ClientId, OperationId], _PendingRequest] = {}
+        self._cache: Dict[Tuple[ClientId, OperationId], bytes] = {}
+        self._cancelled: set = set()
+        self._filter = DuplicateSuppressor()
+
+        self.stats = {
+            "requests_received": 0,
+            "requests_forwarded": 0,
+            "cache_replays": 0,
+            "responses_delivered": 0,
+            "duplicates_suppressed": 0,
+            "responses_unroutable": 0,
+            "responses_unexpected": 0,
+            "mirrors_recorded": 0,
+            "takeover_forwards": 0,
+            "clients_connected": 0,
+            "clients_gone": 0,
+            "bad_object_key": 0,
+        }
+
+    # ==================================================================
+    # Lifecycle
+    # ==================================================================
+
+    def handle_start(self) -> None:
+        self._listener = self.domain.world.tcp.listen(
+            self.host, self.port, self._on_accept)
+
+    def handle_stop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+        # On a *graceful* stop, close client connections so clients
+        # detect the retirement promptly.  On a host crash the TCP stack
+        # itself severs them (closing here would unregister the
+        # endpoints before the stack can notify the peers).
+        if self.host.alive:
+            for connection in list(self._conn_ids):
+                connection.close()
+
+    def drain(self, poll_interval: float = 0.01, grace: float = 0.25):
+        """Graceful shutdown: stop accepting new clients, serve out the
+        requests already in flight, then stop the gateway.
+
+        ``grace`` covers requests already travelling toward the gateway
+        when the drain starts (the gateway cannot see bytes still on the
+        wire); it should exceed one client round-trip time.
+
+        Returns a promise resolved once the gateway has stopped.  With
+        redundant gateways this lets an operator retire a gateway with
+        zero client-visible failures (enhanced clients reconnect to the
+        remaining profiles on their next invocation).
+        """
+        from ..sim.world import Promise
+        promise = Promise()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+        def check_drained() -> None:
+            if not self.alive:
+                promise.resolve(None)
+                return
+            own_pending = [p for p in self._pending.values()
+                           if p.forwarder == self.host.name
+                           and p.response_expected]
+            if not own_pending:
+                self.stop()
+                promise.resolve(None)
+            else:
+                self.after(poll_interval, check_drained)
+
+        self.after(grace, check_drained)
+        return promise
+
+    # ==================================================================
+    # TCP side (outside the domain)
+    # ==================================================================
+
+    def _on_accept(self, endpoint: TcpEndpoint) -> None:
+        self.stats["clients_connected"] += 1
+        IiopServerConnection(endpoint, self._on_client_message,
+                             on_close=self._on_client_close)
+
+    def _on_client_message(self, message: bytes,
+                           connection: IiopServerConnection) -> None:
+        message_type, _, _ = parse_header(message)
+        if message_type == MsgType.CLOSE_CONNECTION:
+            connection.close()
+            return
+        if message_type == MsgType.LOCATE_REQUEST:
+            self._on_locate_request(message, connection)
+            return
+        if message_type == MsgType.CANCEL_REQUEST:
+            self._on_cancel_request(message, connection)
+            return
+        if message_type != MsgType.REQUEST:
+            return
+        request = decode_request(message)
+        self.stats["requests_received"] += 1
+
+        from ..eternal.naming import parse_object_key
+        parsed = parse_object_key(request.object_key)
+        info = None
+        if parsed is not None and parsed[0] == self.domain.name:
+            info = self.rm.registry.get(parsed[1])
+        if info is None:
+            self.stats["bad_object_key"] += 1
+            if request.response_expected:
+                connection.send(reply_for_exception(
+                    request.request_id,
+                    ObjectNotExist(f"no such object: {request.object_key!r}")))
+            return
+        target_group = info.group_id
+
+        client_id = self._identify_client(request, connection, target_group)
+        # "Map socket to client identifier" (Figure 5a).
+        self._routing[client_id] = connection
+        op_id = external_operation_id(request.request_id)
+        cache_key = (client_id, op_id)
+
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            # A reinvocation whose response we already hold (the client
+            # failed over to us, or retried): answer locally.
+            self.stats["cache_replays"] += 1
+            connection.send(cached)
+            return
+
+        pending = _PendingRequest(
+            client_id=client_id, op_id=op_id, target_group=target_group,
+            iiop=message, forwarder=self.host.name,
+            response_expected=request.response_expected)
+        self._pending[cache_key] = pending
+        if request.response_expected:
+            self._filter.expect((target_group, client_id, op_id),
+                                votes_needed=self._votes_for(info))
+
+        from ..eternal.messages import DomainMessage, MsgKind
+        from ..eternal.naming import GATEWAY_GROUP
+        if self.mirror_requests:
+            # Section 3.5: record the request group-wide before forwarding.
+            self.rm.multicast(DomainMessage(
+                kind=MsgKind.GATEWAY_MIRROR,
+                source_group=GATEWAY_GROUP,
+                target_group=GATEWAY_GROUP,
+                client_id=client_id,
+                op_id=op_id,
+                iiop=message,
+                data={"target_group": target_group,
+                      "forwarder": self.host.name},
+            ))
+        self._forward(pending)
+
+    def _on_locate_request(self, message: bytes,
+                           connection: IiopServerConnection) -> None:
+        """Answer ORB location probes: the gateway claims to *be* every
+        object of its domain (the client must keep believing the
+        endpoint in the IOR is the server — section 3.1)."""
+        from ..eternal.naming import parse_object_key
+        from ..iiop.giop import (LocateStatus, decode_locate_request,
+                                 encode_locate_reply)
+        request_id, object_key = decode_locate_request(message)
+        parsed = parse_object_key(object_key)
+        here = (parsed is not None and parsed[0] == self.domain.name
+                and self.rm.registry.get(parsed[1]) is not None)
+        status = LocateStatus.OBJECT_HERE if here else LocateStatus.UNKNOWN_OBJECT
+        connection.send(encode_locate_reply(request_id, status))
+
+    def _on_cancel_request(self, message: bytes,
+                           connection: IiopServerConnection) -> None:
+        """Best-effort CancelRequest: drop the gateway's routing intent
+        for the request so a late response is not written to the socket.
+        The invocation may already have executed inside the domain (the
+        CORBA spec makes no promise there, and neither does the paper)."""
+        from ..iiop.giop import decode_cancel_request
+        cancelled_id = decode_cancel_request(message)
+        client_id = self._conn_ids.get(connection)
+        if client_id is None:
+            return
+        op_id = external_operation_id(cancelled_id)
+        self._pending.pop((client_id, op_id), None)
+        self._cancelled.add((client_id, op_id))
+        self.stats["cancels"] = self.stats.get("cancels", 0) + 1
+
+    def _forward(self, pending: _PendingRequest) -> None:
+        from ..eternal.messages import DomainMessage, MsgKind
+        from ..eternal.naming import GATEWAY_GROUP
+        self.stats["requests_forwarded"] += 1
+        self.rm.multicast(DomainMessage(
+            kind=MsgKind.INVOCATION,
+            source_group=GATEWAY_GROUP,
+            target_group=pending.target_group,
+            client_id=pending.client_id,
+            op_id=pending.op_id,
+            iiop=pending.iiop,
+        ))
+
+    def _identify_client(self, request, connection: IiopServerConnection,
+                         target_group: int) -> ClientId:
+        """Enhanced clients carry their identity; plain clients get a
+        counter for the target server group (section 3.2)."""
+        ctx = extract_client_id(request)
+        if ctx is not None:
+            client_id = f"{ctx.client_uid}#{ctx.incarnation}"
+            self._conn_ids[connection] = client_id
+            return client_id
+        known = self._conn_ids.get(connection)
+        if known is not None:
+            return known
+        counter = self._counters.setdefault(target_group, itertools.count(1))
+        client_id = self.index * 1_000_000 + next(counter)
+        self._conn_ids[connection] = client_id
+        return client_id
+
+    def _votes_for(self, info) -> int:
+        if not info.style.needs_voting:
+            return 1
+        live = len(info.live_replicas(self.rm.live_hosts)) or len(info.placement)
+        return live // 2 + 1
+
+    def _on_client_close(self, connection: IiopServerConnection) -> None:
+        client_id = self._conn_ids.pop(connection, None)
+        if client_id is None:
+            return
+        if self._routing.get(client_id) is connection:
+            del self._routing[client_id]
+        has_pending = any(cid == client_id for (cid, _) in self._pending)
+        if not has_pending:
+            # Tell the other gateways the client is gone so they delete
+            # any state stored on its behalf (section 3.5).
+            from ..eternal.messages import DomainMessage, MsgKind
+            from ..eternal.naming import GATEWAY_GROUP
+            self.rm.multicast(DomainMessage(
+                kind=MsgKind.CLIENT_GONE,
+                source_group=GATEWAY_GROUP,
+                target_group=GATEWAY_GROUP,
+                client_id=client_id,
+            ))
+
+    # ==================================================================
+    # Multicast side (inside the domain)
+    # ==================================================================
+
+    def observe_delivered(self, msg: "DomainMessage") -> None:
+        """Called by the co-located Replication Mechanisms for every
+        delivered message; the gateway reacts to the kinds it owns."""
+        from ..eternal.messages import MsgKind
+        from ..eternal.naming import GATEWAY_GROUP
+        kind = msg.kind
+        if kind is MsgKind.RESPONSE and msg.target_group == GATEWAY_GROUP:
+            self._on_domain_response(msg)
+        elif kind is MsgKind.GATEWAY_MIRROR:
+            self._on_mirror(msg)
+        elif kind is MsgKind.INVOCATION and msg.source_group == GATEWAY_GROUP:
+            record = self._pending.get((msg.client_id, msg.op_id))
+            if record is not None:
+                record.forwarded = True
+        elif kind is MsgKind.CLIENT_GONE:
+            self._purge_client(msg.client_id)
+
+    def _on_domain_response(self, msg: "DomainMessage") -> None:
+        filter_key = (msg.source_group, msg.client_id, msg.op_id)
+        verdict, payload = self._filter.offer(
+            filter_key, msg.iiop, responder=msg.data.get("responder"))
+        if verdict == DuplicateSuppressor.DUPLICATE:
+            self.stats["duplicates_suppressed"] += 1
+            return
+        if verdict == DuplicateSuppressor.UNEXPECTED:
+            # No record of this client here: with plain counter-assigned
+            # client ids and no mirroring, a response surviving its
+            # gateway cannot be routed (section 3.4).
+            self.stats["responses_unexpected"] += 1
+            return
+        if verdict != DuplicateSuppressor.DELIVER:
+            return  # voting still pending
+        cache_key = (msg.client_id, msg.op_id)
+        self._cache[cache_key] = payload
+        while len(self._cache) > self.response_cache_limit:
+            # FIFO eviction: the oldest responses are the least likely
+            # to be reclaimed by a reissue (bounded gateway memory).
+            self._cache.pop(next(iter(self._cache)))
+        self._pending.pop(cache_key, None)
+        if cache_key in self._cancelled:
+            # The client withdrew interest (CancelRequest): keep the
+            # cached response (a reissue may still claim it) but do not
+            # write to the socket.
+            self.stats["responses_unroutable"] += 1
+            return
+        connection = self._routing.get(msg.client_id)
+        if connection is not None and connection.open:
+            connection.send(payload)
+            self.stats["responses_delivered"] += 1
+            self.tracer.emit(self.scheduler.now, "gateway.deliver", self.name,
+                             "response delivered",
+                             client=msg.client_id, op=str(msg.op_id))
+        else:
+            self.stats["responses_unroutable"] += 1
+
+    def _on_mirror(self, msg: "DomainMessage") -> None:
+        if not self.mirror_requests:
+            return
+        self.stats["mirrors_recorded"] += 1
+        cache_key = (msg.client_id, msg.op_id)
+        if cache_key not in self._pending and cache_key not in self._cache:
+            self._pending[cache_key] = _PendingRequest(
+                client_id=msg.client_id, op_id=msg.op_id,
+                target_group=msg.data["target_group"], iiop=msg.iiop,
+                forwarder=msg.data["forwarder"])
+        info = self.rm.registry.get(msg.data["target_group"])
+        votes = self._votes_for(info) if info is not None else 1
+        self._filter.expect((msg.data["target_group"], msg.client_id,
+                             msg.op_id), votes_needed=votes)
+
+    def _purge_client(self, client_id: ClientId) -> None:
+        self.stats["clients_gone"] += 1
+        for key in [k for k in self._pending if k[0] == client_id]:
+            del self._pending[key]
+        for key in [k for k in self._cache if k[0] == client_id]:
+            del self._cache[key]
+        self._routing.pop(client_id, None)
+        self._cancelled = {k for k in self._cancelled if k[0] != client_id}
+        # Forget the filter's memory as well: if the "client" returns
+        # with the same identifiers (e.g. an egress successor host), its
+        # reissues must be re-servable, not suppressed as duplicates.
+        self._filter.forget_where(lambda key: key[1] == client_id)
+
+    # ==================================================================
+    # Gateway-group failover (section 3.5)
+    # ==================================================================
+
+    def _live_gateway_hosts(self) -> List[str]:
+        from ..eternal.naming import GATEWAY_GROUP
+        info = self.rm.registry.get(GATEWAY_GROUP)
+        if info is None:
+            return [self.host.name]
+        live = [h for h in info.placement if h in self.rm.live_hosts]
+        return live or [self.host.name]
+
+    def _on_membership(self, live_hosts: Tuple[str, ...]) -> None:
+        """Re-forward requests a crashed peer accepted but never forwarded.
+
+        Deterministic takeover: the lowest-named live gateway re-issues;
+        duplicate detection inside the domain makes over-forwarding safe.
+        """
+        if not self.mirror_requests or not self.alive:
+            return
+        leader = min(self._live_gateway_hosts())
+        if leader != self.host.name:
+            return
+        live = set(live_hosts)
+        for record in list(self._pending.values()):
+            if record.forwarder not in live and not record.forwarded:
+                record.forwarder = self.host.name
+                self.stats["takeover_forwards"] += 1
+                self._forward(record)

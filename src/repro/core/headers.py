@@ -1,0 +1,104 @@
+"""Wire encoding of the Figure 4 message headers.
+
+The simulation passes :class:`~repro.eternal.messages.DomainMessage`
+objects by reference, but the paper specifies a concrete header layout
+prepended to each IIOP message inside the domain:
+
+    | TCP client id | source group id | target group id |
+    | operation identifier | message timestamp |
+
+This module provides the byte-level encoding/decoding of that header so
+its cost and structure can be measured (experiment E4) and so the
+formats of Figure 4(a)/(b)/(c) can be regenerated exactly:
+
+* (a) client <-> gateway: a bare IIOP message (optionally carrying the
+  enhanced client's service context);
+* (b) gateway -> domain: reliable-multicast header + FT/gateway header
+  (client id = the TCP client identifier) + IIOP message;
+* (c) within the domain: the same, with client id = UNUSED.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import MarshalError
+from ..iiop.cdr import CdrInputStream, CdrOutputStream
+from .identifiers import ClientId, OperationId, UNUSED_CLIENT_ID
+
+# Discriminants for the two client-id representations (counter vs uid).
+_CLIENT_ID_INT = 0
+_CLIENT_ID_STR = 1
+
+# The reliable-multicast header of Figure 4: ring generation, sequence
+# number, sender — what Totem prepends below Eternal's own header.
+MULTICAST_HEADER_FIELDS = ("ring_generation", "sequence_number", "sender")
+
+
+def encode_ft_header(client_id: ClientId, source_group: int,
+                     target_group: int, op_id: OperationId,
+                     timestamp: int) -> bytes:
+    """Encode the fault tolerance infrastructure + gateway header."""
+    out = CdrOutputStream()
+    if isinstance(client_id, int):
+        out.write_octet(_CLIENT_ID_INT)
+        out.write_ulonglong(client_id)
+    else:
+        out.write_octet(_CLIENT_ID_STR)
+        out.write_string(client_id)
+    out.write_ulong(source_group)
+    out.write_ulong(target_group)
+    out.write_ulonglong(op_id.parent_ts)
+    out.write_ulong(op_id.child_seq)
+    out.write_ulonglong(timestamp)
+    return out.getvalue()
+
+
+def decode_ft_header(data: bytes) -> Tuple[ClientId, int, int, OperationId,
+                                           int, int]:
+    """Decode a header; returns (client id, source, target, op id,
+    timestamp, bytes consumed)."""
+    stream = CdrInputStream(data)
+    tag = stream.read_octet()
+    if tag == _CLIENT_ID_INT:
+        client_id: ClientId = stream.read_ulonglong()
+    elif tag == _CLIENT_ID_STR:
+        client_id = stream.read_string()
+    else:
+        raise MarshalError(f"bad client-id tag {tag}")
+    source_group = stream.read_ulong()
+    target_group = stream.read_ulong()
+    parent_ts = stream.read_ulonglong()
+    child_seq = stream.read_ulong()
+    timestamp = stream.read_ulonglong()
+    return (client_id, source_group, target_group,
+            OperationId(parent_ts, child_seq), timestamp, stream.position)
+
+
+def encode_multicast_message(client_id: ClientId, source_group: int,
+                             target_group: int, op_id: OperationId,
+                             timestamp: int, iiop: bytes,
+                             ring_generation: int = 0,
+                             sequence_number: int = 0,
+                             sender: str = "") -> bytes:
+    """Full Figure 4(b)/(c) message: multicast header + FT header + IIOP."""
+    out = CdrOutputStream()
+    out.write_ulong(ring_generation)
+    out.write_ulonglong(sequence_number)
+    out.write_string(sender)
+    out.write_raw(encode_ft_header(client_id, source_group, target_group,
+                                   op_id, timestamp))
+    out.write_octets(iiop)
+    return out.getvalue()
+
+
+def intra_domain_header(source_group: int, target_group: int,
+                        op_id: OperationId, timestamp: int) -> bytes:
+    """Figure 4(c): the client id is 'some unused value'."""
+    return encode_ft_header(UNUSED_CLIENT_ID, source_group, target_group,
+                            op_id, timestamp)
+
+
+def header_overhead(client_id: ClientId = UNUSED_CLIENT_ID) -> int:
+    """Bytes the FT/gateway header adds to each IIOP message."""
+    return len(encode_ft_header(client_id, 1, 2, OperationId(0, 1), 0))

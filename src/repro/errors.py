@@ -1,0 +1,74 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised by this library derive from :class:`ReproError`,
+so callers can catch library failures with a single ``except`` clause.
+The CORBA-flavoured exceptions (:class:`CommFailure`, :class:`ObjectNotExist`,
+:class:`TransientError`) mirror the standard CORBA system exceptions that
+the paper's unreplicated clients would observe from a real ORB.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was wired together incorrectly (programmer error)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation was driven into an invalid state."""
+
+
+class MarshalError(ReproError):
+    """CDR or GIOP encoding/decoding failed (malformed bytes or bad type)."""
+
+
+class CorbaSystemException(ReproError):
+    """Base class for CORBA-style system exceptions surfaced to clients."""
+
+    minor = 0
+
+    def __init__(self, message: str = "", minor: int = 0):
+        super().__init__(message or self.__class__.__name__)
+        self.minor = minor
+
+
+class CommFailure(CorbaSystemException):
+    """COMM_FAILURE: the transport connection broke mid-request.
+
+    This is what a plain (non-enhanced) unreplicated client observes when
+    the single gateway it is connected to crashes (paper section 3.4).
+    """
+
+
+class TransientError(CorbaSystemException):
+    """TRANSIENT: the request could not be delivered; retry may succeed."""
+
+
+class ObjectNotExist(CorbaSystemException):
+    """OBJECT_NOT_EXIST: the object key does not name a live object."""
+
+
+class BadOperation(CorbaSystemException):
+    """BAD_OPERATION: the operation name is not part of the interface."""
+
+
+class NoResponse(CorbaSystemException):
+    """NO_RESPONSE: no reply arrived before the caller's deadline."""
+
+
+class InvocationFailure(ReproError):
+    """An application-level (user) exception raised by a servant.
+
+    Carries the repository id and textual detail so the client side can
+    re-raise something meaningful after unmarshalling a reply with an
+    exception status.
+    """
+
+    def __init__(self, repo_id: str, detail: str = ""):
+        super().__init__(f"{repo_id}: {detail}" if detail else repo_id)
+        self.repo_id = repo_id
+        self.detail = detail

@@ -1,0 +1,71 @@
+"""Logging-Recovery Mechanisms: message logs, checkpoints, state transfer.
+
+Paper section 2.2: "The Replication Mechanisms, operating in concert
+with the Logging-Recovery Mechanisms, provide for strongly consistent
+replication ... and for state transfer to new and recovering replicas
+for both actively and passively replicated objects."
+
+Each Replication Mechanisms instance keeps one :class:`GroupLog` per
+group it hosts:
+
+* the **invocation log** — every delivered invocation for the group,
+  in total order, with its delivery timestamp.  Passive backups replay
+  the suffix after the last checkpoint/state update on failover; cold
+  passive recovery replays after the last periodic checkpoint.
+* the **checkpoint** — the newest known state snapshot and the
+  timestamp up to which it covers; installing one truncates the log.
+
+Replaying is deterministic because logged invocations carry their
+original timestamps: replayed nested invocations regenerate the *same*
+operation identifiers (Figure 6) and are therefore deduplicated at
+their targets rather than re-executed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from .messages import DomainMessage
+
+
+@dataclass
+class Checkpoint:
+    state: Dict[str, Any]
+    ts: int
+    version: int = 1
+
+
+class GroupLog:
+    """Per-group invocation log plus latest checkpoint."""
+
+    def __init__(self, group_id: int) -> None:
+        self.group_id = group_id
+        self.invocations: List[DomainMessage] = []
+        self.checkpoint: Optional[Checkpoint] = None
+        self.ops_since_checkpoint = 0
+
+    def record_invocation(self, message: DomainMessage) -> None:
+        """Append a delivered invocation (caller already deduplicated)."""
+        self.invocations.append(message)
+        self.ops_since_checkpoint += 1
+
+    def install_checkpoint(self, state: Dict[str, Any], ts: int,
+                           version: int = 1) -> None:
+        """Adopt a newer checkpoint and truncate the covered log prefix."""
+        if self.checkpoint is not None and ts < self.checkpoint.ts:
+            return  # stale checkpoint: a replayed control message
+        self.checkpoint = Checkpoint(state=state, ts=ts, version=version)
+        self.invocations = [m for m in self.invocations if m.timestamp > ts]
+        self.ops_since_checkpoint = 0
+
+    def replay_after(self, ts: int) -> List[DomainMessage]:
+        """Invocations with delivery timestamp strictly greater than ts."""
+        return [m for m in self.invocations if m.timestamp > ts]
+
+    def latest_covered_ts(self) -> int:
+        """Timestamp below which state is captured by the checkpoint."""
+        return self.checkpoint.ts if self.checkpoint is not None else 0
+
+    def __len__(self) -> int:
+        return len(self.invocations)

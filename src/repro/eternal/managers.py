@@ -1,0 +1,299 @@
+"""The Eternal Replication, Resource, and Evolution Managers (Figure 2).
+
+*Replication Manager* — "replicates each application object, according
+to user-specified fault tolerance properties ... and distributes the
+replicas across the system."  Implemented as a genuine replicated CORBA
+object group (the paper notes the managers are themselves CORBA objects
+that benefit from Eternal's fault tolerance): every replica executes
+``create_object`` deterministically and emits the same idempotent
+GROUP_ANNOUNCE control message, so duplicate emission is harmless.
+
+*Resource Manager* — "monitors the system resources, and maintains the
+initial and minimum number of replicas."  Implemented as a per-host
+infrastructure component: after every membership change (and on a slow
+periodic tick) each host deterministically computes the same
+replacement placements from the shared registry and multicasts
+idempotent ADD_REPLICA messages.
+
+*Evolution Manager* — "exploits object replication to support upgrades
+to the CORBA application objects."  Implemented as a rolling-upgrade
+driver: bump the group's factory/version in the registry, then replace
+replicas one host at a time, waiting for each new replica's
+REPLICA_READY before touching the next (state transfer keeps the group
+available throughout).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Sequence, Tuple, TYPE_CHECKING
+
+from dataclasses import replace as dc_replace
+
+from ..errors import InvocationFailure
+from ..iiop.types import TC_LONG, TC_STRING, TC_VOID
+from ..orb.idl import Interface, Operation, Param
+from ..orb.servant import Servant
+from ..sim.world import Promise
+from .messages import DomainMessage, MsgKind
+from .naming import FIRST_APPLICATION_GROUP
+from .registry import GroupInfo
+from .styles import ReplicationStyle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .domain import FaultToleranceDomain
+    from .replication import ReplicationMechanisms
+
+
+REPLICATION_MANAGER_INTERFACE = Interface("EternalReplicationManager", [
+    Operation("create_object", [
+        Param("name", TC_STRING),
+        Param("interface_name", TC_STRING),
+        Param("factory_name", TC_STRING),
+        Param("style", TC_STRING),
+        Param("num_replicas", TC_LONG),
+        Param("min_replicas", TC_LONG),
+    ], TC_STRING),                        # returns the published IOR string
+    Operation("remove_object", [Param("name", TC_STRING)], TC_VOID),
+    Operation("get_properties", [Param("name", TC_STRING)], TC_STRING),
+    # FT-CORBA style: properties given as a JSON-encoded property map
+    # using the org.omg.ft.* names (see repro.eternal.properties).
+    Operation("create_object_with_properties", [
+        Param("name", TC_STRING),
+        Param("interface_name", TC_STRING),
+        Param("factory_name", TC_STRING),
+        Param("properties_json", TC_STRING),
+    ], TC_STRING),
+])
+
+
+class ReplicationManagerServant(Servant):
+    """Replicated manager servant; one replica per manager host.
+
+    All decisions (group id, placement) are derived from the registry
+    and membership of the *local* Replication Mechanisms at the point
+    in the total order where the invocation is executed — identical on
+    every replica — so every replica multicasts the same announcement.
+    """
+
+    interface = REPLICATION_MANAGER_INTERFACE
+
+    def __init__(self, rm: "ReplicationMechanisms",
+                 ior_builder: Callable[[int, str], str],
+                 replica_hosts: Sequence[str]) -> None:
+        self._rm = rm
+        self._ior_builder = ior_builder
+        self._replica_hosts = replica_hosts
+
+    # -- operations -------------------------------------------------------
+
+    def create_object(self, name: str, interface_name: str,
+                      factory_name: str, style: str, num_replicas: int,
+                      min_replicas: int) -> str:
+        registry = self._rm.registry
+        existing = registry.by_name(name)
+        if existing is not None:
+            return self._ior_builder(existing.group_id,
+                                     existing.interface_name)
+        try:
+            chosen_style = ReplicationStyle(style)
+        except ValueError:
+            raise InvocationFailure("IDL:repro/BadProperty:1.0",
+                                    f"unknown replication style {style!r}")
+        group_id = max([FIRST_APPLICATION_GROUP - 1]
+                       + [g.group_id for g in registry.all_groups()]) + 1
+        placement = self._choose_placement(num_replicas)
+        info = GroupInfo(
+            group_id=group_id, name=name, interface_name=interface_name,
+            factory_name=factory_name, style=chosen_style,
+            placement=placement, min_replicas=max(1, min_replicas),
+            initial_replicas=num_replicas)
+        self._rm.multicast(DomainMessage(
+            kind=MsgKind.GROUP_ANNOUNCE, source_group=0, target_group=0,
+            data={"info": info}))
+        return self._ior_builder(group_id, interface_name)
+
+    def create_object_with_properties(self, name: str, interface_name: str,
+                                      factory_name: str,
+                                      properties_json: str) -> str:
+        """FT-CORBA flavoured creation: org.omg.ft.* property map."""
+        from ..errors import ConfigurationError
+        from .properties import FaultToleranceProperties
+        try:
+            raw = json.loads(properties_json)
+            if not isinstance(raw, dict):
+                raise ValueError("property map must be a JSON object")
+            props = FaultToleranceProperties.from_properties(
+                {str(k): str(v) for k, v in raw.items()})
+        except (ValueError, ConfigurationError) as exc:
+            raise InvocationFailure("IDL:repro/BadProperty:1.0", str(exc))
+        registry = self._rm.registry
+        existing = registry.by_name(name)
+        if existing is not None:
+            return self._ior_builder(existing.group_id,
+                                     existing.interface_name)
+        group_id = max([FIRST_APPLICATION_GROUP - 1]
+                       + [g.group_id for g in registry.all_groups()]) + 1
+        info = GroupInfo(
+            group_id=group_id, name=name, interface_name=interface_name,
+            factory_name=factory_name, style=props.replication_style,
+            placement=self._choose_placement(props.initial_number_replicas),
+            min_replicas=props.minimum_number_replicas,
+            initial_replicas=props.initial_number_replicas,
+            checkpoint_interval=props.checkpoint_interval)
+        self._rm.multicast(DomainMessage(
+            kind=MsgKind.GROUP_ANNOUNCE, source_group=0, target_group=0,
+            data={"info": info}))
+        return self._ior_builder(group_id, interface_name)
+
+    def remove_object(self, name: str) -> None:
+        info = self._rm.registry.by_name(name)
+        if info is None:
+            raise InvocationFailure("IDL:repro/NoSuchObject:1.0", name)
+        self._rm.multicast(DomainMessage(
+            kind=MsgKind.GROUP_REMOVE, source_group=0, target_group=0,
+            data={"group_id": info.group_id}))
+
+    def get_properties(self, name: str) -> str:
+        info = self._rm.registry.by_name(name)
+        if info is None:
+            raise InvocationFailure("IDL:repro/NoSuchObject:1.0", name)
+        return json.dumps({
+            "group_id": info.group_id,
+            "style": info.style.value,
+            "placement": list(info.placement),
+            "min_replicas": info.min_replicas,
+            "version": info.version,
+        }, sort_keys=True)
+
+    # -- helpers ----------------------------------------------------------
+
+    def _choose_placement(self, num_replicas: int) -> Tuple[str, ...]:
+        """Least-loaded live replica hosts, ties broken by name."""
+        live = [h for h in self._replica_hosts if h in self._rm.live_hosts]
+        load: Dict[str, int] = {h: 0 for h in live}
+        for info in self._rm.registry.all_groups():
+            for host in info.placement:
+                if host in load:
+                    load[host] += 1
+        ranked = sorted(live, key=lambda h: (load[h], h))
+        return tuple(ranked[:max(1, num_replicas)])
+
+    # Managers hold no transferable application state.
+    def get_state(self) -> dict:
+        return {}
+
+    def set_state(self, state: dict) -> None:
+        return None
+
+
+class ResourceManager:
+    """Per-host replica-count maintenance (idempotent, leaderless)."""
+
+    def __init__(self, rm: "ReplicationMechanisms",
+                 replica_hosts: Sequence[str],
+                 check_interval: float = 0.5) -> None:
+        self.rm = rm
+        self.replica_hosts = replica_hosts
+        self.check_interval = check_interval
+        self.stats = {"replacements_requested": 0}
+        rm.on_membership_change(self._on_membership)
+        self._schedule_tick()
+
+    def _schedule_tick(self) -> None:
+        if self.rm.alive:
+            self.rm.after(self.check_interval, self._tick)
+
+    def _tick(self) -> None:
+        self._maintain()
+        self._schedule_tick()
+
+    def _on_membership(self, live_hosts: Tuple[str, ...]) -> None:
+        self._maintain()
+
+    def _maintain(self) -> None:
+        """Request replacements for groups below their minimum.
+
+        Every host computes the same candidate from the same registry
+        and membership, so the redundant ADD_REPLICA multicasts are
+        identical and idempotent at every receiver.
+        """
+        live = set(self.rm.live_hosts)
+        for info in self.rm.registry.all_groups():
+            if info.factory_name == "":
+                continue  # infrastructure pseudo-groups (gateways)
+            alive = [h for h in info.placement if h in live]
+            want = max(info.min_replicas, 0)
+            if len(alive) >= want:
+                continue
+            candidates = self._candidates(info, live)
+            needed = want - len(alive)
+            for host in candidates[:needed]:
+                self.stats["replacements_requested"] += 1
+                self.rm.multicast(DomainMessage(
+                    kind=MsgKind.ADD_REPLICA, source_group=0, target_group=0,
+                    data={"group_id": info.group_id, "host": host}))
+
+    def _candidates(self, info: GroupInfo, live: set) -> List[str]:
+        load: Dict[str, int] = {}
+        for host in self.replica_hosts:
+            if host in live and host not in info.placement:
+                load[host] = 0
+        for other in self.rm.registry.all_groups():
+            for host in other.placement:
+                if host in load:
+                    load[host] += 1
+        return sorted(load, key=lambda h: (load[h], h))
+
+
+class EvolutionManager:
+    """Rolling live-upgrade driver (one replica at a time)."""
+
+    def __init__(self, domain: "FaultToleranceDomain") -> None:
+        self.domain = domain
+
+    def upgrade_group(self, group_name: str, new_factory_name: str,
+                      settle_timeout: float = 30.0) -> Promise:
+        """Upgrade every replica of ``group_name`` to ``new_factory_name``.
+
+        Returns a promise resolved with the new version number once all
+        replicas run the new factory's code.
+        """
+        promise = Promise()
+        rm = self.domain.coordinator_rm()
+        info = rm.registry.by_name(group_name)
+        if info is None:
+            promise.reject(InvocationFailure("IDL:repro/NoSuchObject:1.0",
+                                             group_name))
+            return promise
+        new_version = info.version + 1
+        upgraded = dc_replace(info, version=new_version,
+                              factory_name=new_factory_name)
+        rm.multicast(DomainMessage(
+            kind=MsgKind.GROUP_ANNOUNCE, source_group=0, target_group=0,
+            data={"info": upgraded}))
+        plan = list(info.placement)
+        state = {"remaining": plan, "current": None}
+
+        def step() -> None:
+            if not state["remaining"]:
+                promise.resolve(new_version)
+                return
+            host = state["remaining"].pop(0)
+            state["current"] = host
+            rm.multicast(DomainMessage(
+                kind=MsgKind.REMOVE_REPLICA, source_group=0, target_group=0,
+                data={"group_id": info.group_id, "host": host}))
+            rm.multicast(DomainMessage(
+                kind=MsgKind.ADD_REPLICA, source_group=0, target_group=0,
+                data={"group_id": info.group_id, "host": host}))
+
+        def on_ready(group_id: int, host: str, version: int) -> None:
+            if promise.done or group_id != info.group_id:
+                return
+            if host == state["current"]:
+                step()
+
+        rm.on_replica_ready(on_ready)
+        step()
+        return promise

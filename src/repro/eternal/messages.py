@@ -1,0 +1,101 @@
+"""Messages multicast within a fault tolerance domain (paper Figure 4).
+
+Every multicast message carries the Eternal/gateway header of Figure 4:
+the TCP client identifier, the source group identifier, the target
+group identifier, the operation identifier, and the message timestamp
+(filled in from the Totem sequence number by the Replication Mechanisms
+at the receiving end).  For messages between replicated objects within
+the domain the TCP client identifier is the UNUSED sentinel, exactly as
+in Figure 4(c).
+
+Beyond the paper's two application kinds (IIOP invocation / IIOP
+response), the infrastructure multicasts control messages for group
+management, checkpointing, state transfer, gateway request mirroring
+(section 3.5), and client-failure cleanup.  All control messages are
+*idempotent* at the receiver, which lets replicated managers emit them
+redundantly without coordination.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..core.identifiers import ClientId, OperationId, UNUSED_CLIENT_ID
+
+
+class MsgKind(enum.Enum):
+    # Application traffic (Figure 4).
+    INVOCATION = "invocation"
+    RESPONSE = "response"
+
+    # Group management (idempotent control messages).
+    GROUP_ANNOUNCE = "group_announce"      # create/replace a group's registry entry
+    GROUP_REMOVE = "group_remove"
+    ADD_REPLICA = "add_replica"
+    REMOVE_REPLICA = "remove_replica"
+    REPLACE_REPLICA = "replace_replica"    # live upgrade (Evolution Manager)
+    REPLICA_READY = "replica_ready"        # state transfer complete
+
+    # Logging and recovery.
+    CHECKPOINT = "checkpoint"              # cold passive periodic checkpoint
+    STATE_UPDATE = "state_update"          # warm passive per-operation update
+    STATE_TRANSFER = "state_transfer"      # donor -> joining replica
+
+    # Gateway coordination (section 3.5).
+    GATEWAY_MIRROR = "gateway_mirror"      # record a client request group-wide
+    CLIENT_GONE = "client_gone"            # purge per-client gateway state
+
+    # Membership support.
+    REGISTRY_SYNC = "registry_sync"        # directory snapshot for joiners
+    REGISTRY_SYNC_REQUEST = "registry_sync_request"
+
+
+@dataclass
+class DomainMessage:
+    """One multicast message: Figure 4 header + payload.
+
+    ``timestamp`` is zero in transit and stamped with the Totem sequence
+    number by every receiver at delivery, so all receivers agree on it.
+    ``iiop`` carries the encapsulated IIOP request or reply bytes for
+    application traffic; control messages use ``data`` instead.
+    """
+
+    kind: MsgKind
+    source_group: int
+    target_group: int
+    client_id: ClientId = UNUSED_CLIENT_ID
+    op_id: Optional[OperationId] = None
+    timestamp: int = 0
+    iiop: bytes = b""
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def size_hint(self) -> int:
+        """Approximate wire size, for network accounting.
+
+        Counts the IIOP payload exactly and bytes-like values inside
+        control data (checkpoints/state transfers carry real state), so
+        traffic measurements reflect what a serialised message would
+        weigh."""
+        size = 40 + len(self.iiop)
+        for value in self.data.values():
+            size += _value_weight(value)
+        return size
+
+    def describe(self) -> str:
+        return (f"{self.kind.value} {self.source_group}->{self.target_group} "
+                f"client={self.client_id!r} op={self.op_id} ts={self.timestamp}")
+
+
+def _value_weight(value: Any) -> int:
+    """Rough serialised weight of one control-data value."""
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return 8 + len(value)
+    if isinstance(value, dict):
+        return 8 + sum(_value_weight(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return 8 + sum(_value_weight(v) for v in value)
+    return 16

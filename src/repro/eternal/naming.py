@@ -1,0 +1,48 @@
+"""Group identifiers and object-key naming within fault tolerance domains.
+
+Every replicated object group has a numeric group identifier, unique
+within its domain (paper section 3: "each replicated object is assigned
+a unique object group identifier").  The object key that Eternal places
+into published IORs encodes the domain name and the group id, so a
+gateway can recover the target server group from the object key of any
+incoming IIOP request (section 3.1: "by extracting the server's object
+key ... the gateway identifies the target server").
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..errors import MarshalError
+
+# Reserved group ids.
+EXTERNAL_GROUP = 0          # pseudo-group for traffic from outside the domain
+GATEWAY_GROUP = 1           # the domain's gateway group
+REPLICATION_MANAGER_GROUP = 2
+RESOURCE_MANAGER_GROUP = 3
+EVOLUTION_MANAGER_GROUP = 4
+FIRST_APPLICATION_GROUP = 10
+
+_KEY_PREFIX = "ftdomain"
+
+
+def make_object_key(domain_name: str, group_id: int) -> bytes:
+    """Object key naming a replicated group: ``ftdomain/<name>/<gid>``."""
+    if "/" in domain_name:
+        raise MarshalError(f"domain name may not contain '/': {domain_name!r}")
+    return f"{_KEY_PREFIX}/{domain_name}/{group_id}".encode("ascii")
+
+
+def parse_object_key(key: bytes) -> Optional[Tuple[str, int]]:
+    """Inverse of :func:`make_object_key`; None for foreign keys."""
+    try:
+        text = key.decode("ascii")
+    except UnicodeDecodeError:
+        return None
+    parts = text.split("/")
+    if len(parts) != 3 or parts[0] != _KEY_PREFIX:
+        return None
+    try:
+        return parts[1], int(parts[2])
+    except ValueError:
+        return None

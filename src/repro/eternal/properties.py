@@ -1,0 +1,140 @@
+"""Fault tolerance properties, after the FT-CORBA standard's vocabulary.
+
+The paper's Replication Manager "replicates each application object,
+according to user-specified fault tolerance properties (including the
+choice of replication style ...)".  The property names below follow the
+OMG FT-CORBA submission the authors co-wrote (orbos/98-04-08):
+ReplicationStyle, InitialNumberReplicas, MinimumNumberReplicas,
+CheckpointInterval, plus the consistency/membership styles that Eternal
+fixes (infrastructure-controlled consistency and membership).
+
+:class:`FaultToleranceProperties` is the validated value object used at
+group-creation time; it converts to and from the flat string dictionary
+a CORBA property sequence would carry, so the replicated manager can
+accept property sets over the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..errors import ConfigurationError
+from .styles import ReplicationStyle
+
+# The styles Eternal fixes for every group (paper section 2.2): the
+# infrastructure — not the application — keeps replicas consistent and
+# controls membership.
+CONSISTENCY_STYLE = "CONS_INF_CTRL"
+MEMBERSHIP_STYLE = "MEMB_INF_CTRL"
+
+
+@dataclass(frozen=True)
+class FaultToleranceProperties:
+    """User-specifiable fault tolerance properties of one object group."""
+
+    replication_style: ReplicationStyle = ReplicationStyle.ACTIVE
+    initial_number_replicas: int = 3
+    minimum_number_replicas: int = 2
+    checkpoint_interval: int = 10
+    fault_monitoring_interval: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.initial_number_replicas < 1:
+            raise ConfigurationError("InitialNumberReplicas must be >= 1")
+        if self.minimum_number_replicas < 1:
+            raise ConfigurationError("MinimumNumberReplicas must be >= 1")
+        if self.minimum_number_replicas > self.initial_number_replicas:
+            raise ConfigurationError(
+                "MinimumNumberReplicas cannot exceed InitialNumberReplicas")
+        if self.checkpoint_interval < 1:
+            raise ConfigurationError("CheckpointInterval must be >= 1")
+        if self.fault_monitoring_interval <= 0:
+            raise ConfigurationError("FaultMonitoringInterval must be > 0")
+        if self.replication_style is ReplicationStyle.ACTIVE_WITH_VOTING \
+                and self.initial_number_replicas < 3:
+            raise ConfigurationError(
+                "ACTIVE_WITH_VOTING needs >= 3 replicas for a meaningful "
+                "majority")
+
+    # ------------------------------------------------------------------
+    # Wire form: the flat string properties of a CORBA property sequence
+    # ------------------------------------------------------------------
+
+    def to_properties(self) -> Dict[str, str]:
+        return {
+            "org.omg.ft.ReplicationStyle": self.replication_style.value,
+            "org.omg.ft.InitialNumberReplicas":
+                str(self.initial_number_replicas),
+            "org.omg.ft.MinimumNumberReplicas":
+                str(self.minimum_number_replicas),
+            "org.omg.ft.CheckpointInterval": str(self.checkpoint_interval),
+            "org.omg.ft.FaultMonitoringInterval":
+                str(self.fault_monitoring_interval),
+            "org.omg.ft.ConsistencyStyle": CONSISTENCY_STYLE,
+            "org.omg.ft.MembershipStyle": MEMBERSHIP_STYLE,
+        }
+
+    @staticmethod
+    def from_properties(properties: Dict[str, str]
+                        ) -> "FaultToleranceProperties":
+        """Parse a property dictionary; unknown keys are rejected so
+        configuration typos fail loudly."""
+        known = {
+            "org.omg.ft.ReplicationStyle",
+            "org.omg.ft.InitialNumberReplicas",
+            "org.omg.ft.MinimumNumberReplicas",
+            "org.omg.ft.CheckpointInterval",
+            "org.omg.ft.FaultMonitoringInterval",
+            "org.omg.ft.ConsistencyStyle",
+            "org.omg.ft.MembershipStyle",
+        }
+        unknown = set(properties) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown fault tolerance properties: {sorted(unknown)}")
+        if properties.get("org.omg.ft.ConsistencyStyle",
+                          CONSISTENCY_STYLE) != CONSISTENCY_STYLE:
+            raise ConfigurationError(
+                "Eternal provides infrastructure-controlled consistency only")
+        if properties.get("org.omg.ft.MembershipStyle",
+                          MEMBERSHIP_STYLE) != MEMBERSHIP_STYLE:
+            raise ConfigurationError(
+                "Eternal provides infrastructure-controlled membership only")
+        defaults = FaultToleranceProperties()
+        try:
+            style = ReplicationStyle(properties.get(
+                "org.omg.ft.ReplicationStyle",
+                defaults.replication_style.value))
+        except ValueError as exc:
+            raise ConfigurationError(f"bad ReplicationStyle: {exc}") from exc
+
+        def integer(key: str, fallback: int) -> int:
+            raw = properties.get(key)
+            if raw is None:
+                return fallback
+            try:
+                return int(raw)
+            except ValueError as exc:
+                raise ConfigurationError(f"bad {key}: {raw!r}") from exc
+
+        raw_interval = properties.get("org.omg.ft.FaultMonitoringInterval")
+        try:
+            monitoring = (float(raw_interval) if raw_interval is not None
+                          else defaults.fault_monitoring_interval)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad FaultMonitoringInterval: {raw_interval!r}") from exc
+        return FaultToleranceProperties(
+            replication_style=style,
+            initial_number_replicas=integer(
+                "org.omg.ft.InitialNumberReplicas",
+                defaults.initial_number_replicas),
+            minimum_number_replicas=integer(
+                "org.omg.ft.MinimumNumberReplicas",
+                defaults.minimum_number_replicas),
+            checkpoint_interval=integer(
+                "org.omg.ft.CheckpointInterval",
+                defaults.checkpoint_interval),
+            fault_monitoring_interval=monitoring,
+        )

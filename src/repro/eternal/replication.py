@@ -1,0 +1,813 @@
+"""The Eternal Replication Mechanisms (paper Figure 2, sections 2.2, 3.2).
+
+One :class:`ReplicationMechanisms` instance runs on every processor of
+a fault tolerance domain, layered on the local Totem member.  It:
+
+* hosts the local replicas of application (and manager) object groups;
+* dispatches totally-ordered delivered invocations to those replicas,
+  detecting and suppressing duplicate invocations via the
+  (source group, client id, operation id) key and caching responses so
+  duplicates can be answered without re-execution;
+* multicasts replica responses back to the invoking group or gateway;
+* drives nested invocations (generator servants) with deterministic
+  Figure 6 identifiers;
+* implements the replication styles (active, active with voting, warm
+  and cold passive, stateless), including primary election, periodic
+  checkpoints, per-operation state updates, log replay on failover, and
+  state transfer to joining replicas;
+* maintains the group registry from idempotent control messages so all
+  processors share an identical directory;
+* hands gateway-targeted traffic to an attached gateway (the gateway is
+  infrastructure, not a CORBA object — paper section 3).
+
+Determinism note: delivered messages are shared in-memory across hosts
+by the simulated transport; the only mutation ever performed on one is
+stamping ``timestamp`` with the Totem sequence number, which every
+receiver sets to the same value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.duplicates import DuplicateSuppressor
+from ..core.identifiers import (
+    OperationId,
+    UNUSED_CLIENT_ID,
+    dedup_key,
+    external_operation_id,
+)
+from ..errors import ConfigurationError
+from ..iiop.giop import RequestMessage, decode_reply, decode_request, encode_request
+from ..orb.dispatch import (
+    decode_result,
+    encode_arguments,
+    reply_for_exception,
+    reply_for_result,
+)
+from ..orb.idl import Interface, Operation
+from ..orb.servant import NestedCall, Servant
+from ..sim.host import Host, Process
+from ..sim.trace import Tracer
+from ..sim.world import Promise
+from ..totem.member import TotemMember
+from .execution import Execution, Outcome
+from .logging_recovery import GroupLog
+from .messages import DomainMessage, MsgKind
+from .naming import EXTERNAL_GROUP, GATEWAY_GROUP, make_object_key
+from .registry import GroupInfo, GroupRegistry
+from .styles import ReplicationStyle
+
+# Bound on the per-group duplicate-detection table.  Entries are evicted
+# FIFO; by the time 100k newer operations have been ordered after an
+# invocation, any legitimate reissue of it has long been answered.
+# (Production Totem GCs at message stability instead; a size bound keeps
+# the simulation honest about memory without that machinery.)
+DEDUP_TABLE_LIMIT = 100_000
+
+
+@dataclass
+class ReplicaRecord:
+    """One local replica of a group."""
+
+    group_id: int
+    servant: Servant
+    version: int = 1
+    ready: bool = True                 # state installed (or nothing to install)
+    buffered: List[DomainMessage] = field(default_factory=list)
+
+
+@dataclass
+class _InvocationRecord:
+    """Dedup-table entry for one (source, client, op) invocation."""
+
+    status: str                        # "executing" | "done"
+    response_iiop: Optional[bytes] = None
+    response_expected: bool = True
+
+
+@dataclass
+class _WaitingNested:
+    """A local execution suspended on a nested invocation's response."""
+
+    execution: Execution
+    original: DomainMessage            # the parent invocation message
+    nested_op: Operation               # for result decoding
+    group_id: int                      # the invoking (local) group
+    call: NestedCall
+    op_id: OperationId
+
+
+@dataclass
+class _ExternalWaiter:
+    """A locally-originated (ambassador) invocation awaiting its response."""
+
+    promise: Promise
+    op: Operation
+
+
+class ReplicationMechanisms(Process):
+    """Per-processor replication engine of the Eternal system."""
+
+    def __init__(
+        self,
+        host: Host,
+        totem: TotemMember,
+        domain_name: str,
+        interfaces: Dict[str, Interface],
+        factories: Dict[str, Callable[[], Servant]],
+        tracer: Optional[Tracer] = None,
+        synced: bool = True,
+    ) -> None:
+        super().__init__(host, f"rm@{host.name}")
+        self.totem = totem
+        self.domain_name = domain_name
+        self.interfaces = interfaces
+        self.factories = factories
+        self.tracer = tracer or Tracer(enabled=False)
+
+        self.registry = GroupRegistry()
+        self.replicas: Dict[int, ReplicaRecord] = {}
+        self.logs: Dict[int, GroupLog] = {}
+        self.live_hosts: Tuple[str, ...] = ()
+        self._prev_members: Tuple[str, ...] = ()
+        self._last_primary: Dict[int, Optional[str]] = {}
+
+        # Registry synchronization: processors that join a running domain
+        # (new gateways, recovered hosts) buffer deliveries until an
+        # incumbent sends them the directory snapshot.
+        self.synced = synced
+        self._presync_buffer: List[DomainMessage] = []
+
+        # Duplicate invocation detection: group -> dedup key -> record.
+        self._invocations_seen: Dict[int, Dict[Tuple, _InvocationRecord]] = {}
+        # Duplicate response suppression / voting for nested + external calls.
+        self._response_filter = DuplicateSuppressor()
+        # Suspended executions keyed by (responder group, invoking group, op id).
+        self._waiting_nested: Dict[Tuple, _WaitingNested] = {}
+        # Ambassador invocations keyed by (responder group, client id, op id).
+        self._waiting_external: Dict[Tuple, _ExternalWaiter] = {}
+
+        self._gateway = None               # attached repro.core.gateway.Gateway
+        self._egress = None                # attached cross-domain egress client
+        self._membership_listeners: List[Callable[[Tuple[str, ...]], None]] = []
+        self._replica_ready_listeners: List[Callable[[int, str, int], None]] = []
+
+        self.stats = {
+            "invocations_executed": 0,
+            "invocations_duplicate": 0,
+            "responses_resent": 0,
+            "responses_delivered": 0,
+            "responses_suppressed": 0,
+            "checkpoints": 0,
+            "state_updates": 0,
+            "state_transfers_sent": 0,
+            "state_transfers_received": 0,
+            "replays": 0,
+        }
+
+        totem.on_deliver(self._on_deliver)
+        totem.on_membership(self._on_membership)
+        self.running = True
+        if not synced:
+            self.soon(self._request_sync)
+
+    def _request_sync(self) -> None:
+        """Ask incumbents for the directory snapshot; retry until synced."""
+        if self.synced or not self.alive:
+            return
+        self.multicast(DomainMessage(
+            kind=MsgKind.REGISTRY_SYNC_REQUEST, source_group=0, target_group=0,
+            data={"requester": self.host.name},
+        ))
+        self.after(0.05, self._request_sync)
+
+    # ==================================================================
+    # Wiring
+    # ==================================================================
+
+    def attach_gateway(self, gateway: Any) -> None:
+        """Attach the co-located gateway (receives gateway-group traffic)."""
+        self._gateway = gateway
+
+    def attach_egress(self, egress: Any) -> None:
+        """Attach the cross-domain egress client (section "Fig. 1" path)."""
+        self._egress = egress
+
+    def on_membership_change(self, fn: Callable[[Tuple[str, ...]], None]) -> None:
+        self._membership_listeners.append(fn)
+
+    def on_replica_ready(self, fn: Callable[[int, str, int], None]) -> None:
+        """``fn(group_id, host_name, version)`` on REPLICA_READY delivery."""
+        self._replica_ready_listeners.append(fn)
+
+    # ==================================================================
+    # Outbound multicast helpers
+    # ==================================================================
+
+    def multicast(self, message: DomainMessage) -> None:
+        self.totem.multicast(message, size=message.size_hint())
+
+    def _respond(self, invocation: DomainMessage, reply_iiop: bytes) -> None:
+        self.multicast(DomainMessage(
+            kind=MsgKind.RESPONSE,
+            source_group=invocation.target_group,
+            target_group=invocation.source_group,
+            client_id=invocation.client_id,
+            op_id=invocation.op_id,
+            iiop=reply_iiop,
+            data={"responder": self.host.name},
+        ))
+
+    # ==================================================================
+    # Delivery entry point
+    # ==================================================================
+
+    def _on_deliver(self, seq: int, sender: str, payload: Any) -> None:
+        if not isinstance(payload, DomainMessage):
+            return
+        payload.timestamp = seq  # same value stamped by every receiver
+        if not self.synced:
+            if payload.kind is MsgKind.REGISTRY_SYNC:
+                self._apply_registry_sync(payload)
+            else:
+                self._presync_buffer.append(payload)
+            return
+        self._dispatch(payload)
+
+    def _dispatch(self, payload: DomainMessage) -> None:
+        kind = payload.kind
+        if kind is MsgKind.INVOCATION:
+            self._on_invocation(payload)
+        elif kind is MsgKind.RESPONSE:
+            self._on_response(payload)
+        else:
+            self._on_control(payload)
+        # Gateways observe their own group's forwarded invocations and all
+        # gateway-coordination traffic.
+        if self._gateway is not None:
+            self._gateway.observe_delivered(payload)
+
+    # ==================================================================
+    # Invocations
+    # ==================================================================
+
+    def _on_invocation(self, msg: DomainMessage) -> None:
+        record = self.replicas.get(msg.target_group)
+        if record is None:
+            return  # not hosted here
+        info = self.registry.get(msg.target_group)
+        if info is None:
+            return
+        if not record.ready:
+            record.buffered.append(msg)
+            return
+        self._process_invocation(msg, record, info)
+
+    def _process_invocation(self, msg: DomainMessage, record: ReplicaRecord,
+                            info: GroupInfo) -> None:
+        key = dedup_key(msg.source_group, msg.client_id, msg.op_id)
+        seen = self._invocations_seen.setdefault(msg.target_group, {})
+        existing = seen.get(key)
+        if existing is not None:
+            self.stats["invocations_duplicate"] += 1
+            if existing.status == "done" and existing.response_iiop is not None:
+                # Re-send the cached response: the duplicate may stem from
+                # a reinvocation whose original response was lost with a
+                # crashed gateway or primary (sections 3.3-3.5).
+                self.stats["responses_resent"] += 1
+                self._respond(msg, existing.response_iiop)
+            return
+        # Record before executing so re-entrant deliveries see it.
+        request = decode_request(msg.iiop)
+        seen[key] = _InvocationRecord(
+            status="executing", response_expected=request.response_expected)
+        while len(seen) > DEDUP_TABLE_LIMIT:
+            seen.pop(next(iter(seen)))  # FIFO eviction, bounded memory
+
+        style = info.style
+        i_execute = style.is_active or info.primary(self.live_hosts) == self.host.name
+        if style.is_passive:
+            self.logs.setdefault(msg.target_group, GroupLog(msg.target_group)
+                                 ).record_invocation(msg)
+        if not i_execute:
+            return  # passive backup: logged only
+        self._execute(msg, record, info, request, key)
+
+    def _execute(self, msg: DomainMessage, record: ReplicaRecord,
+                 info: GroupInfo, request: RequestMessage, key: Tuple) -> None:
+        interface = self.interfaces.get(info.interface_name)
+        if interface is None:
+            raise ConfigurationError(
+                f"no interface {info.interface_name!r} registered")
+        execution = Execution(record.servant, interface, request,
+                              parent_ts=msg.timestamp)
+        self.stats["invocations_executed"] += 1
+        outcome = execution.start()
+        self._handle_outcome(execution, outcome, msg, info, key)
+
+    def _handle_outcome(self, execution: Execution, outcome: Outcome,
+                        original: DomainMessage, info: GroupInfo,
+                        key: Tuple) -> None:
+        if outcome.kind == Outcome.NESTED:
+            self._issue_nested(execution, outcome.nested, original, info, key)
+            return
+        # Terminal: build the reply.
+        if outcome.kind == Outcome.DONE:
+            reply = reply_for_result(execution.request.request_id,
+                                     execution.op, outcome.value)
+        else:
+            reply = reply_for_exception(execution.request.request_id,
+                                        outcome.error)
+        seen = self._invocations_seen.setdefault(original.target_group, {})
+        seen[key] = _InvocationRecord(status="done", response_iiop=reply,
+                                      response_expected=execution.request.response_expected)
+        if execution.request.response_expected:
+            self._respond(original, reply)
+        self._post_execution(original, info)
+
+    def _post_execution(self, original: DomainMessage, info: GroupInfo) -> None:
+        """Style-specific after-effects at the executing primary."""
+        record = self.replicas.get(info.group_id)
+        if record is None:
+            return
+        if info.style is ReplicationStyle.WARM_PASSIVE:
+            self.stats["state_updates"] += 1
+            self.multicast(DomainMessage(
+                kind=MsgKind.STATE_UPDATE,
+                source_group=info.group_id,
+                target_group=info.group_id,
+                data={"state": record.servant.get_state(),
+                      "upto_ts": original.timestamp},
+            ))
+        elif info.style is ReplicationStyle.COLD_PASSIVE:
+            log = self.logs.setdefault(info.group_id, GroupLog(info.group_id))
+            if log.ops_since_checkpoint >= info.checkpoint_interval:
+                self.stats["checkpoints"] += 1
+                self.multicast(DomainMessage(
+                    kind=MsgKind.CHECKPOINT,
+                    source_group=info.group_id,
+                    target_group=info.group_id,
+                    data={"state": record.servant.get_state(),
+                          "upto_ts": original.timestamp,
+                          "version": record.version},
+                ))
+
+    # ==================================================================
+    # Nested invocations (Figure 6)
+    # ==================================================================
+
+    def _issue_nested(self, execution: Execution, call: NestedCall,
+                      original: DomainMessage, info: GroupInfo,
+                      key: Tuple) -> None:
+        op_id = execution.next_child_op_id()
+        if call.target.startswith("IOR:"):
+            self._issue_egress(execution, call, original, info, key, op_id)
+            return
+        target_info = self.registry.by_name(call.target)
+        if target_info is None:
+            outcome = execution.resume_error(ConfigurationError(
+                f"unknown nested target {call.target!r}"))
+            self._handle_outcome(execution, outcome, original, info, key)
+            return
+        target_iface = self.interfaces[target_info.interface_name]
+        nested_op = target_iface.operation(call.operation)
+        request = RequestMessage(
+            request_id=_deterministic_request_id(op_id),
+            response_expected=not nested_op.oneway,
+            object_key=make_object_key(self.domain_name, target_info.group_id),
+            operation=nested_op.name,
+            body=encode_arguments(nested_op, call.args),
+        )
+        message = DomainMessage(
+            kind=MsgKind.INVOCATION,
+            source_group=info.group_id,
+            target_group=target_info.group_id,
+            client_id=UNUSED_CLIENT_ID,
+            op_id=op_id,
+            iiop=encode_request(request),
+        )
+        wait_key = (target_info.group_id, info.group_id, op_id)
+        self._waiting_nested[wait_key] = _WaitingNested(
+            execution=execution, original=original, nested_op=nested_op,
+            group_id=info.group_id, call=call, op_id=op_id)
+        self._response_filter.expect(
+            wait_key, votes_needed=self._votes_needed(target_info))
+        self.multicast(message)
+        if nested_op.oneway:
+            # No response will come; resume immediately with None.
+            self._waiting_nested.pop(wait_key, None)
+            self._response_filter.cancel(wait_key)
+            outcome = execution.resume(None)
+            self._handle_outcome(execution, outcome, original, info, key)
+
+    def _issue_egress(self, execution: Execution, call: NestedCall,
+                      original: DomainMessage, info: GroupInfo,
+                      key: Tuple, op_id: OperationId) -> None:
+        """Nested call whose target is outside this domain (an IOR)."""
+        if self._egress is None:
+            outcome = execution.resume_error(ConfigurationError(
+                "no egress configured for cross-domain invocation"))
+            self._handle_outcome(execution, outcome, original, info, key)
+            return
+        wait_key = (EXTERNAL_GROUP, info.group_id, op_id)
+        self._waiting_nested[wait_key] = _WaitingNested(
+            execution=execution, original=original,
+            nested_op=self._egress.operation_for(call), group_id=info.group_id,
+            call=call, op_id=op_id)
+        self._response_filter.expect(wait_key, votes_needed=1)
+        self._egress.issue(info.group_id, op_id, call)
+
+    def _votes_needed(self, info: GroupInfo) -> int:
+        if not info.style.needs_voting:
+            return 1
+        live = len(info.live_replicas(self.live_hosts)) or len(info.placement)
+        return live // 2 + 1
+
+    # ==================================================================
+    # Responses
+    # ==================================================================
+
+    def _on_response(self, msg: DomainMessage) -> None:
+        if msg.target_group == GATEWAY_GROUP:
+            return  # handled by the attached gateway via observe_delivered
+        if msg.target_group == EXTERNAL_GROUP and msg.client_id != UNUSED_CLIENT_ID:
+            self._resolve_external(msg)
+            return
+        wait_key = (msg.source_group, msg.target_group, msg.op_id)
+        verdict, payload = self._response_filter.offer(
+            wait_key, msg.iiop, responder=msg.data.get("responder"))
+        if verdict != DuplicateSuppressor.DELIVER:
+            if verdict == DuplicateSuppressor.DUPLICATE:
+                self.stats["responses_suppressed"] += 1
+            return
+        waiting = self._waiting_nested.pop(wait_key, None)
+        if waiting is None:
+            return
+        self.stats["responses_delivered"] += 1
+        if msg.source_group == EXTERNAL_GROUP and self._egress is not None:
+            self._egress.complete(msg.target_group, msg.op_id)
+        reply = decode_reply(payload)
+        info = self.registry.get(waiting.group_id)
+        if info is None:
+            return
+        try:
+            value = decode_result(waiting.nested_op, reply,
+                                  little_endian=reply.little_endian)
+        except Exception as exc:
+            outcome = waiting.execution.resume_error(exc)
+        else:
+            outcome = waiting.execution.resume(value)
+        parent_key = dedup_key(waiting.original.source_group,
+                               waiting.original.client_id,
+                               waiting.original.op_id)
+        self._handle_outcome(waiting.execution, outcome, waiting.original,
+                             info, parent_key)
+
+    def _resolve_external(self, msg: DomainMessage) -> None:
+        wait_key = (msg.source_group, msg.client_id, msg.op_id)
+        if (not self._response_filter.is_expected(wait_key)
+                and not self._response_filter.was_delivered(wait_key)):
+            return  # another processor's driver invocation
+        verdict, payload = self._response_filter.offer(
+            wait_key, msg.iiop, responder=msg.data.get("responder"))
+        if verdict != DuplicateSuppressor.DELIVER:
+            if verdict == DuplicateSuppressor.DUPLICATE:
+                self.stats["responses_suppressed"] += 1
+            return
+        waiter = self._waiting_external.pop(wait_key, None)
+        if waiter is None:
+            return
+        self.stats["responses_delivered"] += 1
+        reply = decode_reply(payload)
+        try:
+            value = decode_result(waiter.op, reply,
+                                  little_endian=reply.little_endian)
+        except Exception as exc:
+            waiter.promise.reject(exc)
+        else:
+            waiter.promise.resolve(value)
+
+    # ==================================================================
+    # Ambassador: locally-originated invocations (testing/driver API)
+    # ==================================================================
+
+    def external_invoke(self, target_group_id: int, operation: str,
+                        args: Sequence[Any], client_uid: str,
+                        request_seq: int) -> Promise:
+        """Invoke a replicated group from this processor, outside any
+        group context (used by the domain driver API and managers)."""
+        promise = Promise()
+        info = self.registry.get(target_group_id)
+        if info is None:
+            promise.reject(ConfigurationError(
+                f"unknown group id {target_group_id}"))
+            return promise
+        interface = self.interfaces[info.interface_name]
+        op = interface.operation(operation)
+        op_id = external_operation_id(request_seq)
+        request = RequestMessage(
+            request_id=request_seq,
+            response_expected=not op.oneway,
+            object_key=make_object_key(self.domain_name, target_group_id),
+            operation=op.name,
+            body=encode_arguments(op, args),
+        )
+        message = DomainMessage(
+            kind=MsgKind.INVOCATION,
+            source_group=EXTERNAL_GROUP,
+            target_group=target_group_id,
+            client_id=client_uid,
+            op_id=op_id,
+            iiop=encode_request(request),
+        )
+        if op.oneway:
+            self.multicast(message)
+            promise.resolve(None)
+            return promise
+        wait_key = (target_group_id, client_uid, op_id)
+        self._waiting_external[wait_key] = _ExternalWaiter(promise=promise, op=op)
+        self._response_filter.expect(
+            wait_key, votes_needed=self._votes_needed(info))
+        self.multicast(message)
+        return promise
+
+    # ==================================================================
+    # Control messages
+    # ==================================================================
+
+    def _on_control(self, msg: DomainMessage) -> None:
+        kind = msg.kind
+        if kind is MsgKind.GROUP_ANNOUNCE:
+            self._apply_group_announce(msg)
+        elif kind is MsgKind.GROUP_REMOVE:
+            self._apply_group_remove(msg)
+        elif kind is MsgKind.ADD_REPLICA:
+            self._apply_add_replica(msg)
+        elif kind is MsgKind.REMOVE_REPLICA:
+            self._apply_remove_replica(msg)
+        elif kind is MsgKind.STATE_TRANSFER:
+            self._apply_state_transfer(msg)
+        elif kind is MsgKind.CHECKPOINT:
+            self._apply_checkpoint(msg)
+        elif kind is MsgKind.STATE_UPDATE:
+            self._apply_state_update(msg)
+        elif kind is MsgKind.REPLICA_READY:
+            for fn in list(self._replica_ready_listeners):
+                fn(msg.data["group_id"], msg.data["host"], msg.data["version"])
+        elif kind is MsgKind.REGISTRY_SYNC:
+            pass  # incumbents already hold the directory
+        elif kind is MsgKind.REGISTRY_SYNC_REQUEST:
+            # Every synced member answers; the requester applies the
+            # first snapshot and ignores the rest (idempotent).
+            if self.synced and msg.data.get("requester") != self.host.name:
+                self.multicast(DomainMessage(
+                    kind=MsgKind.REGISTRY_SYNC, source_group=0,
+                    target_group=0,
+                    data={"groups": self.registry.all_groups(),
+                          "for": [msg.data.get("requester")]},
+                ))
+        # GATEWAY_MIRROR / CLIENT_GONE are handled by the attached gateway.
+
+    def _apply_registry_sync(self, msg: DomainMessage) -> None:
+        """Adopt the directory snapshot, then replay buffered deliveries.
+
+        The snapshot covers everything ordered before it; the buffered
+        messages cover everything ordered between our membership install
+        and the snapshot's delivery; live delivery covers the rest —
+        together a gap-free view of the directory's history.
+        """
+        for info in msg.data["groups"]:
+            if info.group_id not in self.registry:
+                self.registry.announce(info)
+                self._last_primary[info.group_id] = info.primary(
+                    self.live_hosts or info.placement)
+        self.synced = True
+        buffered, self._presync_buffer = self._presync_buffer, []
+        for queued in buffered:
+            self._dispatch(queued)
+        self.tracer.emit(self.scheduler.now, "eternal.synced", self.name,
+                         f"registry synced ({len(msg.data['groups'])} groups, "
+                         f"{len(buffered)} replayed)")
+
+    def _apply_group_announce(self, msg: DomainMessage) -> None:
+        info: GroupInfo = msg.data["info"]
+        self.registry.announce(info)
+        self._last_primary[info.group_id] = info.primary(self.live_hosts or
+                                                         info.placement)
+        if (info.factory_name
+                and self.host.name in info.placement
+                and info.group_id not in self.replicas):
+            self._create_local_replica(info, ready=True)
+
+    def _apply_group_remove(self, msg: DomainMessage) -> None:
+        group_id = msg.data["group_id"]
+        self.registry.remove(group_id)
+        self.replicas.pop(group_id, None)
+        self.logs.pop(group_id, None)
+        self._invocations_seen.pop(group_id, None)
+
+    def _create_local_replica(self, info: GroupInfo, ready: bool) -> None:
+        factory = self.factories.get(info.factory_name)
+        if factory is None:
+            raise ConfigurationError(f"no factory {info.factory_name!r}")
+        servant = _call_factory(factory, self)
+        self.replicas[info.group_id] = ReplicaRecord(
+            group_id=info.group_id, servant=servant,
+            version=info.version, ready=ready)
+        if info.style.is_passive:
+            self.logs.setdefault(info.group_id, GroupLog(info.group_id))
+
+    def _apply_add_replica(self, msg: DomainMessage) -> None:
+        group_id = msg.data["group_id"]
+        new_host = msg.data["host"]
+        info_before = self.registry.get(group_id)
+        if info_before is None:
+            return
+        donor = info_before.primary(self.live_hosts)
+        actually_added = self.registry.add_replica(group_id, new_host)
+        if not actually_added:
+            return
+        info = self.registry.require(group_id)
+        if new_host == self.host.name and group_id not in self.replicas:
+            has_donor = donor is not None and donor != new_host
+            self._create_local_replica(info, ready=not has_donor)
+            if not has_donor:
+                # Nothing to transfer (first/only replica): announce ready.
+                self._announce_ready(group_id, info.version)
+        if donor == self.host.name and donor != new_host:
+            record = self.replicas.get(group_id)
+            if record is not None:
+                self.stats["state_transfers_sent"] += 1
+                self.multicast(DomainMessage(
+                    kind=MsgKind.STATE_TRANSFER,
+                    source_group=group_id,
+                    target_group=group_id,
+                    data={
+                        "group_id": group_id,
+                        "recipient": new_host,
+                        "state": record.servant.get_state(),
+                        "version": record.version,
+                        "cut_ts": msg.timestamp,
+                        "dedup": dict(self._invocations_seen.get(group_id, {})),
+                    },
+                ))
+
+    def _apply_remove_replica(self, msg: DomainMessage) -> None:
+        group_id = msg.data["group_id"]
+        host_name = msg.data["host"]
+        self.registry.remove_replica(group_id, host_name)
+        if host_name == self.host.name:
+            self.replicas.pop(group_id, None)
+            self.logs.pop(group_id, None)
+        self._check_primary_changes()
+
+    def _apply_state_transfer(self, msg: DomainMessage) -> None:
+        if msg.data["recipient"] != self.host.name:
+            return
+        group_id = msg.data["group_id"]
+        record = self.replicas.get(group_id)
+        if record is None or record.ready:
+            return
+        self.stats["state_transfers_received"] += 1
+        record.servant.set_state(msg.data["state"])
+        # record.version stays at the registry version it was created
+        # with: during a live upgrade the donor may still run old code,
+        # but the transferred *state* is version-compatible by contract.
+        self._invocations_seen[group_id] = dict(msg.data["dedup"])
+        # The snapshot covers everything ordered before the cut — record
+        # it as a checkpoint so a later promotion replays only what this
+        # replica logs *after* the transfer, never the ops whose effects
+        # the snapshot already contains.  (The donor's log itself is NOT
+        # transferred: every entry predates the cut by construction.)
+        log = self.logs.setdefault(group_id, GroupLog(group_id))
+        log.install_checkpoint(msg.data["state"], ts=msg.data["cut_ts"],
+                               version=record.version)
+        record.ready = True
+        info = self.registry.get(group_id)
+        buffered, record.buffered = record.buffered, []
+        if info is not None:
+            for queued in buffered:
+                self._process_invocation(queued, record, info)
+        self._announce_ready(group_id, record.version)
+
+    def _announce_ready(self, group_id: int, version: int) -> None:
+        self.multicast(DomainMessage(
+            kind=MsgKind.REPLICA_READY,
+            source_group=group_id,
+            target_group=group_id,
+            data={"group_id": group_id, "host": self.host.name,
+                  "version": version},
+        ))
+
+    def _apply_checkpoint(self, msg: DomainMessage) -> None:
+        group_id = msg.data.get("group_id", msg.target_group)
+        if msg.target_group not in self.replicas:
+            return
+        log = self.logs.setdefault(msg.target_group, GroupLog(msg.target_group))
+        log.install_checkpoint(msg.data["state"], msg.data["upto_ts"],
+                               msg.data.get("version", 1))
+
+    def _apply_state_update(self, msg: DomainMessage) -> None:
+        group_id = msg.target_group
+        record = self.replicas.get(group_id)
+        info = self.registry.get(group_id)
+        if record is None or info is None:
+            return
+        if info.primary(self.live_hosts) == self.host.name:
+            return  # the primary's own update
+        record.servant.set_state(msg.data["state"])
+        log = self.logs.setdefault(group_id, GroupLog(group_id))
+        log.install_checkpoint(msg.data["state"], msg.data["upto_ts"])
+
+    # ==================================================================
+    # Membership changes: failover and recovery
+    # ==================================================================
+
+    def _on_membership(self, members: Tuple[str, ...], ring_id) -> None:
+        previous = self._prev_members
+        self._prev_members = tuple(members)
+        self.live_hosts = tuple(members)
+        # Registry synchronization for joiners: the lowest-named incumbent
+        # (present in both the old and new membership) multicasts the
+        # directory snapshot; every incumbent computes the same incumbent.
+        if self.synced and previous:
+            newcomers = [m for m in members if m not in previous]
+            incumbents = [m for m in members if m in previous]
+            if newcomers and incumbents and incumbents[0] == self.host.name:
+                self.multicast(DomainMessage(
+                    kind=MsgKind.REGISTRY_SYNC, source_group=0, target_group=0,
+                    data={"groups": self.registry.all_groups(),
+                          "for": list(newcomers)},
+                ))
+        removed = self.registry.prune_dead_hosts(members)
+        if removed:
+            self.tracer.emit(self.scheduler.now, "eternal.prune",
+                             self.name, "replicas pruned",
+                             removed=[f"{g}@{h}" for g, h in removed])
+        self._check_primary_changes()
+        for fn in list(self._membership_listeners):
+            fn(self.live_hosts)
+        if self._egress is not None:
+            self._egress.handle_membership(self.live_hosts)
+
+    def _check_primary_changes(self) -> None:
+        """Detect passive-group primaries shifting to this host; recover."""
+        for info in self.registry.all_groups():
+            new_primary = info.primary(self.live_hosts)
+            old_primary = self._last_primary.get(info.group_id)
+            self._last_primary[info.group_id] = new_primary
+            if (info.style.is_passive
+                    and new_primary == self.host.name
+                    and old_primary != self.host.name
+                    and info.group_id in self.replicas):
+                self._recover_as_primary(info)
+
+    def _recover_as_primary(self, info: GroupInfo) -> None:
+        """Cold/warm passive failover: restore state, replay the log."""
+        record = self.replicas.get(info.group_id)
+        log = self.logs.setdefault(info.group_id, GroupLog(info.group_id))
+        if record is None:
+            return
+        if info.style is ReplicationStyle.COLD_PASSIVE and log.checkpoint:
+            record.servant.set_state(log.checkpoint.state)
+        covered = log.latest_covered_ts()
+        replay = log.replay_after(covered)
+        self.tracer.emit(self.scheduler.now, "eternal.failover", self.name,
+                         f"promoting to primary of group {info.group_id}",
+                         style=info.style.value, replayed=len(replay))
+        for msg in replay:
+            self.stats["replays"] += 1
+            request = decode_request(msg.iiop)
+            key = dedup_key(msg.source_group, msg.client_id, msg.op_id)
+            # Mark executing (we may have logged it without executing).
+            seen = self._invocations_seen.setdefault(info.group_id, {})
+            seen[key] = _InvocationRecord(
+                status="executing",
+                response_expected=request.response_expected)
+            self._execute(msg, record, info, request, key)
+
+
+def _call_factory(factory: Callable[..., Servant],
+                  rm: "ReplicationMechanisms") -> Servant:
+    """Invoke a servant factory, passing the local Replication Mechanisms
+    when the factory declares a parameter for it (manager servants need
+    access to the local registry; plain application factories do not)."""
+    import inspect
+    try:
+        params = inspect.signature(factory).parameters.values()
+        takes_rm = any(
+            p.default is inspect.Parameter.empty
+            and p.kind in (inspect.Parameter.POSITIONAL_ONLY,
+                           inspect.Parameter.POSITIONAL_OR_KEYWORD)
+            for p in params)
+    except (TypeError, ValueError):
+        takes_rm = False
+    return factory(rm) if takes_rm else factory()
+
+
+def _deterministic_request_id(op_id: OperationId) -> int:
+    """Request id derived from the operation id so every replica of the
+    invoking group marshals byte-identical nested requests."""
+    return ((op_id.parent_ts & 0xFFFFFF) << 8) | (op_id.child_seq & 0xFF)

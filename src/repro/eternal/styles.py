@@ -1,0 +1,59 @@
+"""Replication styles supported by the fault tolerance infrastructure.
+
+The paper (section 2) lists the fault tolerance properties a user can
+request from the Eternal Replication Manager, including the replication
+style: stateless, cold passive, warm passive, active, and active with
+voting.  The semantics implemented by the Replication Mechanisms:
+
+============== =================================================================
+STATELESS       Every replica executes every invocation; no state is
+                checkpointed or transferred (there is none).  Responses are
+                deduplicated at the receiver.
+COLD_PASSIVE    Only the primary executes.  Backups log delivered invocations;
+                the primary's state is checkpointed periodically and multicast.
+                On failover the new primary restores the latest checkpoint and
+                replays the logged invocations after it.
+WARM_PASSIVE    Only the primary executes, and after every operation the
+                primary multicasts a state update to the backups.  Failover
+                replays only the (usually empty) log suffix after the last
+                update.
+ACTIVE          Every replica executes every invocation deterministically;
+                every replica's response is multicast and duplicates are
+                suppressed at the receiver (gateway or invoking group).
+ACTIVE_WITH_VOTING
+                As ACTIVE, but the receiver delivers a response only once a
+                majority of the group's replicas returned byte-identical
+                responses, masking value faults of a minority.
+============== =================================================================
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ReplicationStyle(enum.Enum):
+    STATELESS = "stateless"
+    COLD_PASSIVE = "cold_passive"
+    WARM_PASSIVE = "warm_passive"
+    ACTIVE = "active"
+    ACTIVE_WITH_VOTING = "active_with_voting"
+
+    @property
+    def is_passive(self) -> bool:
+        return self in (ReplicationStyle.COLD_PASSIVE,
+                        ReplicationStyle.WARM_PASSIVE)
+
+    @property
+    def is_active(self) -> bool:
+        return self in (ReplicationStyle.ACTIVE,
+                        ReplicationStyle.ACTIVE_WITH_VOTING,
+                        ReplicationStyle.STATELESS)
+
+    @property
+    def needs_voting(self) -> bool:
+        return self is ReplicationStyle.ACTIVE_WITH_VOTING
+
+    @property
+    def has_state(self) -> bool:
+        return self is not ReplicationStyle.STATELESS

@@ -1,0 +1,253 @@
+"""Common Data Representation (CDR) encoding and decoding.
+
+CDR is the marshalling format underneath GIOP/IIOP (CORBA 2.3, chapter
+15).  This module implements the subset the reproduction needs, but
+implements it properly: natural alignment relative to the start of the
+stream, both byte orders, primitive types, strings (with trailing NUL),
+octet sequences, and nested encapsulations (which restart alignment and
+carry their own endianness octet).
+
+The gateway genuinely decodes these bytes off a simulated TCP stream,
+so correctness here is load-bearing for the whole reproduction.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import MarshalError
+
+BIG_ENDIAN = False  # CDR flag value: False/0 means big-endian
+LITTLE_ENDIAN = True
+
+_ALIGNMENT = {
+    "short": 2, "ushort": 2,
+    "long": 4, "ulong": 4, "float": 4,
+    "longlong": 8, "ulonglong": 8, "double": 8,
+}
+
+_FORMATS = {
+    "short": "h", "ushort": "H",
+    "long": "i", "ulong": "I",
+    "longlong": "q", "ulonglong": "Q",
+    "float": "f", "double": "d",
+}
+
+
+class CdrOutputStream:
+    """Append-only CDR encoder."""
+
+    def __init__(self, little_endian: bool = False) -> None:
+        self.little_endian = little_endian
+        self._buffer = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+    # -- alignment ------------------------------------------------------
+
+    def align(self, boundary: int) -> None:
+        remainder = len(self._buffer) % boundary
+        if remainder:
+            self._buffer.extend(b"\x00" * (boundary - remainder))
+
+    # -- primitives -----------------------------------------------------
+
+    def write_octet(self, value: int) -> None:
+        if not 0 <= value <= 0xFF:
+            raise MarshalError(f"octet out of range: {value}")
+        self._buffer.append(value)
+
+    def write_boolean(self, value: bool) -> None:
+        self._buffer.append(1 if value else 0)
+
+    def write_char(self, value: str) -> None:
+        if len(value) != 1:
+            raise MarshalError(f"char must be a single character: {value!r}")
+        self._buffer.extend(value.encode("latin-1"))
+
+    def _write_numeric(self, kind: str, value) -> None:
+        self.align(_ALIGNMENT[kind])
+        prefix = "<" if self.little_endian else ">"
+        try:
+            self._buffer.extend(struct.pack(prefix + _FORMATS[kind], value))
+        except struct.error as exc:
+            raise MarshalError(f"cannot encode {kind} {value!r}: {exc}") from exc
+
+    def write_short(self, value: int) -> None:
+        self._write_numeric("short", value)
+
+    def write_ushort(self, value: int) -> None:
+        self._write_numeric("ushort", value)
+
+    def write_long(self, value: int) -> None:
+        self._write_numeric("long", value)
+
+    def write_ulong(self, value: int) -> None:
+        self._write_numeric("ulong", value)
+
+    def write_longlong(self, value: int) -> None:
+        self._write_numeric("longlong", value)
+
+    def write_ulonglong(self, value: int) -> None:
+        self._write_numeric("ulonglong", value)
+
+    def write_float(self, value: float) -> None:
+        self._write_numeric("float", value)
+
+    def write_double(self, value: float) -> None:
+        self._write_numeric("double", value)
+
+    # -- constructed types ----------------------------------------------
+
+    def write_string(self, value: str) -> None:
+        """CORBA string: ulong length including trailing NUL, bytes, NUL."""
+        encoded = value.encode("utf-8")
+        if b"\x00" in encoded:
+            raise MarshalError("CORBA strings cannot contain NUL")
+        self.write_ulong(len(encoded) + 1)
+        self._buffer.extend(encoded)
+        self._buffer.append(0)
+
+    def write_octets(self, value: bytes) -> None:
+        """sequence<octet>: ulong length then raw bytes."""
+        self.write_ulong(len(value))
+        self._buffer.extend(value)
+
+    def write_raw(self, value: bytes) -> None:
+        """Raw bytes with no length prefix (already-encoded material)."""
+        self._buffer.extend(value)
+
+    def write_encapsulation(self, build_fn) -> None:
+        """Write a CDR encapsulation produced by ``build_fn(inner_stream)``.
+
+        Encapsulations are octet sequences whose first octet records the
+        byte order of the interior; alignment restarts at offset zero.
+        """
+        inner = CdrOutputStream(little_endian=self.little_endian)
+        inner.write_boolean(self.little_endian)
+        build_fn(inner)
+        self.write_octets(inner.getvalue())
+
+
+class CdrInputStream:
+    """Cursor-based CDR decoder over immutable bytes."""
+
+    def __init__(self, data: bytes, little_endian: bool = False) -> None:
+        self._data = data
+        self._pos = 0
+        self.little_endian = little_endian
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def align(self, boundary: int) -> None:
+        remainder = self._pos % boundary
+        if remainder:
+            self._pos += boundary - remainder
+
+    def _take(self, count: int) -> bytes:
+        if count < 0:
+            raise MarshalError(f"negative CDR read of {count} bytes")
+        if self._pos + count > len(self._data):
+            raise MarshalError(
+                f"CDR underflow: need {count} bytes at {self._pos}, have {len(self._data)}"
+            )
+        chunk = self._data[self._pos:self._pos + count]
+        self._pos += count
+        return chunk
+
+    # -- primitives -----------------------------------------------------
+
+    def read_octet(self) -> int:
+        return self._take(1)[0]
+
+    def read_boolean(self) -> bool:
+        return self._take(1)[0] != 0
+
+    def read_char(self) -> str:
+        return self._take(1).decode("latin-1")
+
+    def _read_numeric(self, kind: str):
+        self.align(_ALIGNMENT[kind])
+        prefix = "<" if self.little_endian else ">"
+        fmt = _FORMATS[kind]
+        raw = self._take(struct.calcsize(fmt))
+        return struct.unpack(prefix + fmt, raw)[0]
+
+    def read_short(self) -> int:
+        return self._read_numeric("short")
+
+    def read_ushort(self) -> int:
+        return self._read_numeric("ushort")
+
+    def read_long(self) -> int:
+        return self._read_numeric("long")
+
+    def read_ulong(self) -> int:
+        return self._read_numeric("ulong")
+
+    def read_longlong(self) -> int:
+        return self._read_numeric("longlong")
+
+    def read_ulonglong(self) -> int:
+        return self._read_numeric("ulonglong")
+
+    def read_float(self) -> float:
+        return self._read_numeric("float")
+
+    def read_double(self) -> float:
+        return self._read_numeric("double")
+
+    # -- constructed types ----------------------------------------------
+
+    def read_string(self) -> str:
+        length = self.read_ulong()
+        if length == 0:
+            raise MarshalError("CORBA string length 0 is invalid (must include NUL)")
+        raw = self._take(length)
+        if raw[-1] != 0:
+            raise MarshalError("CORBA string missing trailing NUL")
+        return raw[:-1].decode("utf-8")
+
+    def read_octets(self) -> bytes:
+        length = self.read_ulong()
+        return self._take(length)
+
+    def read_raw(self, count: int) -> bytes:
+        return self._take(count)
+
+    def read_encapsulation(self) -> "CdrInputStream":
+        """Read an octet-sequence encapsulation; returns an inner stream
+        positioned after its endianness octet."""
+        raw = self.read_octets()
+        if not raw:
+            raise MarshalError("empty CDR encapsulation")
+        inner = CdrInputStream(raw)
+        inner.little_endian = inner.read_boolean()
+        return inner
+
+
+def encapsulate(build_fn, little_endian: bool = False) -> bytes:
+    """Build a standalone encapsulation (endianness octet + body)."""
+    out = CdrOutputStream(little_endian=little_endian)
+    out.write_boolean(little_endian)
+    build_fn(out)
+    return out.getvalue()
+
+
+def decapsulate(data: bytes) -> CdrInputStream:
+    """Open a standalone encapsulation produced by :func:`encapsulate`."""
+    stream = CdrInputStream(data)
+    if stream.remaining == 0:
+        raise MarshalError("empty CDR encapsulation")
+    stream.little_endian = stream.read_boolean()
+    return stream

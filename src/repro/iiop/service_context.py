@@ -1,0 +1,63 @@
+"""Vendor service contexts used by the enhanced client layer.
+
+Section 3.5 of the paper: the thin client-side interception layer
+inserts a *unique TCP/IP client identifier* into the service context
+field of each IIOP request so that any gateway — not just the one the
+client first connected to — can recognise the client and detect
+reinvocations.  ORBs that do not understand the context ignore it.
+
+The context id uses the vendor range; the body is a CDR encapsulation
+carrying the client's globally unique identifier string and an
+incarnation number (bumped when the client process restarts, so a
+restarted client is not mistaken for its former self).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import MarshalError
+from .cdr import CdrOutputStream, decapsulate, encapsulate
+from .giop import RequestMessage, ServiceContext
+
+# "ET" vendor prefix, service 0x01: Eternal client identification.
+ETERNAL_CLIENT_ID_CONTEXT = 0x45540001
+
+
+@dataclass(frozen=True)
+class ClientIdContext:
+    """Unique client identity carried end-to-end in IIOP requests."""
+
+    client_uid: str
+    incarnation: int = 1
+
+    def to_service_context(self) -> ServiceContext:
+        def build(out: CdrOutputStream) -> None:
+            out.write_string(self.client_uid)
+            out.write_ulong(self.incarnation)
+
+        return ServiceContext(ETERNAL_CLIENT_ID_CONTEXT, encapsulate(build))
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "ClientIdContext":
+        stream = decapsulate(data)
+        uid = stream.read_string()
+        incarnation = stream.read_ulong()
+        return ClientIdContext(client_uid=uid, incarnation=incarnation)
+
+
+def extract_client_id(request: RequestMessage) -> Optional[ClientIdContext]:
+    """Pull the Eternal client id out of a request, if present.
+
+    Returns None for plain (non-enhanced) clients; malformed contexts
+    are treated as absent, mirroring the CORBA rule that unintelligible
+    service contexts are ignored.
+    """
+    raw = request.find_context(ETERNAL_CLIENT_ID_CONTEXT)
+    if raw is None:
+        return None
+    try:
+        return ClientIdContext.from_bytes(raw)
+    except MarshalError:
+        return None

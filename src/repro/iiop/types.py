@@ -1,0 +1,188 @@
+"""Minimal TypeCode system for marshalling operation arguments.
+
+The reproduction declares CORBA interfaces with a small Python DSL
+(:mod:`repro.orb.idl`) rather than parsing OMG IDL text.  Each parameter
+and result carries one of these type codes; :func:`encode_value` and
+:func:`decode_value` marshal Python values to and from CDR accordingly.
+
+Supported kinds cover what the paper's application classes (stock
+trading, banking) and the manager interfaces need: void, boolean,
+octet, short/long/longlong (+ unsigned), float/double, string, octet
+sequences, typed sequences, and named structs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from ..errors import MarshalError
+from .cdr import CdrInputStream, CdrOutputStream
+
+
+class TypeCode:
+    """Base class; concrete kinds implement encode/decode."""
+
+    kind = "abstract"
+
+    def encode(self, out: CdrOutputStream, value: Any) -> None:
+        raise NotImplementedError
+
+    def decode(self, stream: CdrInputStream) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<TypeCode {self.kind}>"
+
+
+class _PrimitiveTC(TypeCode):
+    def __init__(self, kind: str, writer: str, reader: str) -> None:
+        self.kind = kind
+        self._writer = writer
+        self._reader = reader
+
+    def encode(self, out: CdrOutputStream, value: Any) -> None:
+        getattr(out, self._writer)(value)
+
+    def decode(self, stream: CdrInputStream) -> Any:
+        return getattr(stream, self._reader)()
+
+
+class _VoidTC(TypeCode):
+    kind = "void"
+
+    def encode(self, out: CdrOutputStream, value: Any) -> None:
+        if value is not None:
+            raise MarshalError(f"void result must be None, got {value!r}")
+
+    def decode(self, stream: CdrInputStream) -> Any:
+        return None
+
+
+class _OctetsTC(TypeCode):
+    kind = "octets"
+
+    def encode(self, out: CdrOutputStream, value: Any) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise MarshalError(f"octets value must be bytes, got {type(value).__name__}")
+        out.write_octets(bytes(value))
+
+    def decode(self, stream: CdrInputStream) -> Any:
+        return stream.read_octets()
+
+
+TC_VOID = _VoidTC()
+TC_BOOLEAN = _PrimitiveTC("boolean", "write_boolean", "read_boolean")
+TC_OCTET = _PrimitiveTC("octet", "write_octet", "read_octet")
+TC_SHORT = _PrimitiveTC("short", "write_short", "read_short")
+TC_USHORT = _PrimitiveTC("ushort", "write_ushort", "read_ushort")
+TC_LONG = _PrimitiveTC("long", "write_long", "read_long")
+TC_ULONG = _PrimitiveTC("ulong", "write_ulong", "read_ulong")
+TC_LONGLONG = _PrimitiveTC("longlong", "write_longlong", "read_longlong")
+TC_ULONGLONG = _PrimitiveTC("ulonglong", "write_ulonglong", "read_ulonglong")
+TC_FLOAT = _PrimitiveTC("float", "write_float", "read_float")
+TC_DOUBLE = _PrimitiveTC("double", "write_double", "read_double")
+TC_STRING = _PrimitiveTC("string", "write_string", "read_string")
+TC_OCTETS = _OctetsTC()
+
+
+class EnumTC(TypeCode):
+    """CORBA enum: encoded as an unsigned long ordinal.
+
+    The Python representation is the member *string*, keeping servants
+    free of generated enum classes; unknown members are rejected on
+    both paths (a wire ordinal beyond the member list is malformed).
+    """
+
+    kind = "enum"
+
+    def __init__(self, name: str, members: Sequence[str]) -> None:
+        if not members:
+            raise MarshalError(f"enum {name} needs at least one member")
+        if len(set(members)) != len(members):
+            raise MarshalError(f"enum {name} has duplicate members")
+        self.name = name
+        self.members = list(members)
+        self._ordinal = {member: i for i, member in enumerate(members)}
+
+    def encode(self, out: CdrOutputStream, value: Any) -> None:
+        ordinal = self._ordinal.get(value)
+        if ordinal is None:
+            raise MarshalError(
+                f"{value!r} is not a member of enum {self.name} "
+                f"({self.members})")
+        out.write_ulong(ordinal)
+
+    def decode(self, stream: CdrInputStream) -> str:
+        ordinal = stream.read_ulong()
+        if ordinal >= len(self.members):
+            raise MarshalError(
+                f"ordinal {ordinal} out of range for enum {self.name}")
+        return self.members[ordinal]
+
+    def __repr__(self) -> str:
+        return f"<TypeCode enum {self.name}>"
+
+
+class SequenceTC(TypeCode):
+    """sequence<element>: ulong count then elements."""
+
+    kind = "sequence"
+
+    def __init__(self, element: TypeCode) -> None:
+        self.element = element
+
+    def encode(self, out: CdrOutputStream, value: Any) -> None:
+        if not isinstance(value, (list, tuple)):
+            raise MarshalError(f"sequence value must be list/tuple, got {type(value).__name__}")
+        out.write_ulong(len(value))
+        for item in value:
+            self.element.encode(out, item)
+
+    def decode(self, stream: CdrInputStream) -> List[Any]:
+        count = stream.read_ulong()
+        return [self.element.decode(stream) for _ in range(count)]
+
+    def __repr__(self) -> str:
+        return f"<TypeCode sequence<{self.element.kind}>>"
+
+
+class StructTC(TypeCode):
+    """Named struct: fields encoded in declaration order.
+
+    Python representation is a plain dict keyed by field name, which
+    keeps application servants free of generated classes.
+    """
+
+    kind = "struct"
+
+    def __init__(self, name: str, fields: Sequence[Tuple[str, TypeCode]]) -> None:
+        self.name = name
+        self.fields = list(fields)
+
+    def encode(self, out: CdrOutputStream, value: Any) -> None:
+        if not isinstance(value, dict):
+            raise MarshalError(f"struct {self.name} expects a dict, got {type(value).__name__}")
+        for field_name, tc in self.fields:
+            if field_name not in value:
+                raise MarshalError(f"struct {self.name} missing field {field_name!r}")
+            tc.encode(out, value[field_name])
+
+    def decode(self, stream: CdrInputStream) -> Dict[str, Any]:
+        return {name: tc.decode(stream) for name, tc in self.fields}
+
+    def __repr__(self) -> str:
+        return f"<TypeCode struct {self.name}>"
+
+
+def encode_values(types: Sequence[TypeCode], values: Sequence[Any],
+                  out: CdrOutputStream) -> None:
+    """Encode a parameter list; lengths must match."""
+    if len(types) != len(values):
+        raise MarshalError(f"expected {len(types)} values, got {len(values)}")
+    for tc, value in zip(types, values):
+        tc.encode(out, value)
+
+
+def decode_values(types: Sequence[TypeCode], stream: CdrInputStream) -> List[Any]:
+    """Decode a parameter list in declaration order."""
+    return [tc.decode(stream) for tc in types]

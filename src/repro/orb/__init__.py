@@ -1,0 +1,46 @@
+"""Miniature CORBA ORB: interfaces, servants, stubs, object adapter.
+
+Stands in for the commercial ORBs of the paper's era.  Everything the
+gateway depends on is real: stubs marshal invocations into GIOP bytes,
+servers unmarshal and dispatch to servants, IORs carry the addressing.
+The ``Requester`` seam lets the section 3.5 client-side interception
+layer replace the default single-profile/no-failover behaviour.
+"""
+
+from .connection import IiopClientConnection, IiopServerConnection
+from .dispatch import (
+    decode_arguments,
+    decode_result,
+    encode_arguments,
+    encode_result_body,
+    reply_for_exception,
+    reply_for_result,
+    run_to_completion,
+    start_invocation,
+)
+from .idl import Interface, Operation, Param
+from .orb import ObjectAdapter, Orb, PlainRequester, Requester, Stub
+from .servant import NestedCall, Servant
+
+__all__ = [
+    "IiopClientConnection",
+    "IiopServerConnection",
+    "Interface",
+    "NestedCall",
+    "ObjectAdapter",
+    "Operation",
+    "Orb",
+    "Param",
+    "PlainRequester",
+    "Requester",
+    "Servant",
+    "Stub",
+    "decode_arguments",
+    "decode_result",
+    "encode_arguments",
+    "encode_result_body",
+    "reply_for_exception",
+    "reply_for_result",
+    "run_to_completion",
+    "start_invocation",
+]

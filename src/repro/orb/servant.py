@@ -1,0 +1,77 @@
+"""Servant base class and the checkpointable-state protocol.
+
+A servant implements an :class:`~repro.orb.idl.Interface` with ordinary
+Python methods.  Two extra hooks make servants replicable by Eternal's
+Logging-Recovery Mechanisms (paper section 2.2, state transfer):
+
+* :meth:`get_state` — capture the object's application state;
+* :meth:`set_state` — install previously captured state.
+
+The defaults snapshot every public, non-callable instance attribute
+(deep-copied so a checkpoint is immune to later mutation), which covers
+typical value-holding servants; servants with richer state override the
+pair.
+
+A servant method that needs to make a *nested invocation* on another
+replicated object writes itself as a generator and yields the call
+descriptor (see :class:`NestedCall`); the Replication Mechanisms drive
+the generator and send the result back in.  This is how the paper's
+Figure 6 scenario (group A's method invoking group B) is expressed.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+
+from .idl import Interface
+
+
+@dataclass(frozen=True)
+class NestedCall:
+    """Yielded by a servant generator to invoke another object.
+
+    ``target`` names the callee: either a stringified IOR (cross-domain,
+    routed through the remote domain's gateway) or a group name that the
+    hosting infrastructure resolves in its own domain.  ``interface``
+    names the callee's interface; it is required for IOR targets (the
+    local infrastructure cannot look a foreign interface up by group)
+    and ignored for in-domain targets.
+    """
+
+    target: str
+    operation: str
+    args: Sequence[Any] = ()
+    interface: Optional[str] = None
+
+
+class Servant:
+    """Base class for application objects.
+
+    Subclasses set the class attribute ``interface`` and define one
+    method per operation.  Methods receive the operation's declared
+    parameters positionally and return the declared result.
+    """
+
+    interface: Interface
+
+    def get_state(self) -> Dict[str, Any]:
+        """Snapshot application state for checkpointing/state transfer."""
+        return copy.deepcopy({
+            name: value for name, value in vars(self).items()
+            if not name.startswith("_") and not callable(value)
+        })
+
+    def set_state(self, state: Dict[str, Any]) -> None:
+        """Install a snapshot produced by :meth:`get_state`."""
+        for name, value in copy.deepcopy(state).items():
+            setattr(self, name, value)
+
+    def dispatch_local(self, operation: str, args: Sequence[Any]) -> Any:
+        """Invoke ``operation`` directly (no marshalling, no nesting).
+
+        Raises AttributeError if the method is missing; callers that
+        need CORBA semantics go through the dispatcher instead.
+        """
+        return getattr(self, operation)(*args)

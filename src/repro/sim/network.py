@@ -1,0 +1,172 @@
+"""Simulated network: latency model, partitions, datagram delivery.
+
+The network delivers *datagrams* between hosts after a configurable
+latency.  Reliability within a live, unpartitioned pair of hosts is
+guaranteed and ordering per (source, destination) pair is FIFO — the
+same assumptions Totem makes of its LAN and TCP makes of its path.
+Loss happens only through host crashes and explicit partitions, which
+is the paper's fault model (fail-stop processors, no Byzantine links).
+
+Latency defaults are asymmetric-friendly: a :class:`LatencyModel` maps a
+host pair to a delay, so wide-area links (Figure 1's New York ↔ Los
+Angeles connection) can be orders of magnitude slower than domain-local
+LAN hops.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .host import Host
+from .scheduler import Scheduler
+from .trace import Tracer
+
+DeliverFn = Callable[[Any], None]
+
+
+class LatencyModel:
+    """Latency lookup for host pairs, with per-pair overrides.
+
+    ``local_latency`` applies between hosts in the same *site* (set via
+    ``site_of``); ``wan_latency`` applies otherwise.  Explicit per-pair
+    overrides win over both.
+    """
+
+    def __init__(self, local_latency: float = 0.0005, wan_latency: float = 0.040):
+        self.local_latency = local_latency
+        self.wan_latency = wan_latency
+        self._site_of: Dict[str, str] = {}
+        self._overrides: Dict[FrozenSet[str], float] = {}
+
+    def set_site(self, host_name: str, site: str) -> None:
+        self._site_of[host_name] = site
+
+    def set_pair(self, a: str, b: str, latency: float) -> None:
+        self._overrides[frozenset((a, b))] = latency
+
+    def latency(self, src: str, dst: str) -> float:
+        if src == dst:
+            return self.local_latency / 10.0
+        override = self._overrides.get(frozenset((src, dst)))
+        if override is not None:
+            return override
+        site_a = self._site_of.get(src)
+        site_b = self._site_of.get(dst)
+        if site_a is not None and site_a == site_b:
+            return self.local_latency
+        if site_a is None and site_b is None:
+            return self.local_latency
+        return self.wan_latency
+
+
+class Network:
+    """Datagram network connecting :class:`Host` objects."""
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        latency_model: Optional[LatencyModel] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.latency_model = latency_model or LatencyModel()
+        self.tracer = tracer or Tracer(enabled=False)
+        self.hosts: Dict[str, Host] = {}
+        self._partitions: List[Tuple[Set[str], Set[str]]] = []
+        self._crash_handlers: List[Callable[[Host], None]] = []
+        self._recovery_handlers: List[Callable[[Host], None]] = []
+        self.datagrams_sent = 0
+        self.datagrams_delivered = 0
+        self.bytes_sent = 0
+        self._msg_counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def add_host(self, name: str, site: Optional[str] = None) -> Host:
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        host = Host(name, self.scheduler, self)
+        self.hosts[name] = host
+        if site is not None:
+            self.latency_model.set_site(name, site)
+        return host
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+
+    def partition(self, side_a: Set[str], side_b: Set[str]) -> None:
+        """Block traffic between the two host-name sets (both ways)."""
+        self._partitions.append((set(side_a), set(side_b)))
+        self.tracer.emit(self.scheduler.now, "net.partition", "network",
+                         "partition installed", a=sorted(side_a), b=sorted(side_b))
+
+    def heal_partitions(self) -> None:
+        self._partitions.clear()
+        self.tracer.emit(self.scheduler.now, "net.heal", "network", "partitions healed")
+
+    def can_communicate(self, src: str, dst: str) -> bool:
+        for side_a, side_b in self._partitions:
+            if (src in side_a and dst in side_b) or (src in side_b and dst in side_a):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Datagram service
+    # ------------------------------------------------------------------
+
+    def send(
+        self,
+        src: Host,
+        dst: Host,
+        payload: Any,
+        deliver: DeliverFn,
+        size: int = 0,
+    ) -> None:
+        """Send ``payload`` from ``src`` to ``dst``; call ``deliver`` there.
+
+        Delivery is dropped silently when either endpoint is dead at
+        send *or* delivery time, or when a partition separates them —
+        matching a real network where packets to dead hosts vanish.
+        """
+        self.datagrams_sent += 1
+        self.bytes_sent += size
+        if not src.alive:
+            return
+        if not self.can_communicate(src.name, dst.name):
+            return
+        delay = self.latency_model.latency(src.name, dst.name)
+
+        def arrive() -> None:
+            if not dst.alive:
+                return
+            if not self.can_communicate(src.name, dst.name):
+                return
+            self.datagrams_delivered += 1
+            deliver(payload)
+
+        self.scheduler.call_after(delay, arrive)
+
+    def host_crashed(self, host: Host) -> None:
+        self.tracer.emit(self.scheduler.now, "net.crash", "network",
+                         f"host {host.name} crashed")
+        for fn in list(self._crash_handlers):
+            fn(host)
+
+    def host_recovered(self, host: Host) -> None:
+        self.tracer.emit(self.scheduler.now, "net.recover", "network",
+                         f"host {host.name} recovered")
+        for fn in list(self._recovery_handlers):
+            fn(host)
+
+    def on_host_crash(self, fn: Callable[[Host], None]) -> None:
+        self._crash_handlers.append(fn)
+
+    def on_host_recovery(self, fn: Callable[[Host], None]) -> None:
+        self._recovery_handlers.append(fn)

@@ -1,0 +1,179 @@
+"""Deterministic discrete-event scheduler.
+
+Every moving part of the reproduction — simulated TCP, Totem token
+rotation, replica execution, crash/recovery fault injection — runs on a
+single instance of :class:`Scheduler`.  Events scheduled for the same
+simulated time fire in the order they were scheduled (a monotonically
+increasing tie-break counter), which makes every run exactly
+reproducible for a given seed and script of events.
+
+The scheduler is intentionally minimal: ``call_at`` / ``call_after``
+return :class:`Timer` handles that can be cancelled, and ``run`` drives
+the event loop until a time bound, an event budget, or quiescence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from ..errors import SimulationError
+
+
+class Timer:
+    """Handle for a scheduled callback; cancellable until it fires."""
+
+    __slots__ = ("time", "fn", "args", "cancelled", "fired")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.fired = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (no-op if already fired)."""
+        self.cancelled = True
+
+    @property
+    def active(self) -> bool:
+        return not self.cancelled and not self.fired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else ("cancelled" if self.cancelled else "pending")
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"<Timer t={self.time:.6f} {name} {state}>"
+
+
+class Scheduler:
+    """Priority-queue event loop with deterministic same-time ordering."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[Tuple[float, int, Timer]] = []
+        self._tiebreak = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def call_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        timer = Timer(time, fn, args)
+        heapq.heappush(self._queue, (time, next(self._tiebreak), timer))
+        return timer
+
+    def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after a relative ``delay`` (>= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.call_at(self.now + delay, fn, *args)
+
+    def call_soon(self, fn: Callable[..., Any], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` at the current time (after pending events)."""
+        return self.call_at(self.now, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Driving the loop
+    # ------------------------------------------------------------------
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued events, including cancelled ones not yet popped."""
+        return len(self._queue)
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def step(self) -> bool:
+        """Run the next event.  Returns False when the queue is empty."""
+        while self._queue:
+            time, _, timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            self.now = time
+            timer.fired = True
+            self._events_processed += 1
+            timer.fn(*timer.args)
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: int = 10_000_000,
+    ) -> int:
+        """Run events until quiescence, ``until`` time, or ``max_events``.
+
+        Returns the number of events processed by this call.  When
+        ``until`` is given the clock is advanced to ``until`` even if the
+        queue drains earlier, so follow-up ``call_after`` calls measure
+        from the bound.
+        """
+        if self._running:
+            raise SimulationError("scheduler re-entered: run() called from an event")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue and processed < max_events:
+                time, _, timer = self._queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(self._queue)
+                if timer.cancelled:
+                    continue
+                self.now = time
+                timer.fired = True
+                self._events_processed += 1
+                processed += 1
+                timer.fn(*timer.args)
+            if processed >= max_events:
+                raise SimulationError(
+                    f"event budget exhausted ({max_events} events): likely a livelock"
+                )
+        finally:
+            self._running = False
+        if until is not None and self.now < until:
+            self.now = until
+        return processed
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        timeout: float = 60.0,
+        max_events: int = 10_000_000,
+    ) -> None:
+        """Run until ``predicate()`` is true; raise on simulated timeout."""
+        deadline = self.now + timeout
+        processed = 0
+        while not predicate():
+            if not self._queue:
+                raise SimulationError(
+                    "simulation quiesced before condition became true"
+                )
+            time, _, timer = heapq.heappop(self._queue)
+            if timer.cancelled:
+                continue
+            if time > deadline:
+                raise SimulationError(
+                    f"condition not reached within {timeout}s of simulated time"
+                )
+            self.now = time
+            timer.fired = True
+            self._events_processed += 1
+            processed += 1
+            if processed > max_events:
+                raise SimulationError("event budget exhausted in run_until")
+            timer.fn(*timer.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Scheduler now={self.now:.6f} queued={len(self._queue)}>"

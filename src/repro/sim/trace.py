@@ -1,0 +1,67 @@
+"""Event tracing for simulations.
+
+A :class:`Tracer` collects structured trace records that tests, examples
+and benchmarks can query afterwards ("how many duplicate responses did
+the gateway suppress?", "when did the ring reform?").  Tracing is cheap:
+records are plain tuples appended to a list, and categories can be
+filtered at emit time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Set
+
+
+class TraceRecord(NamedTuple):
+    time: float
+    category: str
+    source: str
+    message: str
+    data: Dict[str, Any]
+
+
+class Tracer:
+    """Append-only trace log with category filtering and counters."""
+
+    def __init__(self, enabled: bool = True, categories: Optional[Iterable[str]] = None):
+        self.enabled = enabled
+        self._allowed: Optional[Set[str]] = set(categories) if categories else None
+        self.records: List[TraceRecord] = []
+        self.counters: Dict[str, int] = {}
+
+    def emit(
+        self,
+        time: float,
+        category: str,
+        source: str,
+        message: str,
+        **data: Any,
+    ) -> None:
+        """Record one trace event and bump the category counter."""
+        self.counters[category] = self.counters.get(category, 0) + 1
+        if not self.enabled:
+            return
+        if self._allowed is not None and category not in self._allowed:
+            return
+        self.records.append(TraceRecord(time, category, source, message, data))
+
+    def count(self, category: str) -> int:
+        """Total events emitted in ``category`` (counted even if filtered)."""
+        return self.counters.get(category, 0)
+
+    def select(self, category: str) -> List[TraceRecord]:
+        """All retained records in ``category``, in emission order."""
+        return [r for r in self.records if r.category == category]
+
+    def clear(self) -> None:
+        self.records.clear()
+        self.counters.clear()
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of the trace (most recent last)."""
+        rows = self.records if limit is None else self.records[-limit:]
+        lines = []
+        for r in rows:
+            extra = " ".join(f"{k}={v!r}" for k, v in r.data.items())
+            lines.append(f"[{r.time:12.6f}] {r.category:<20} {r.source:<24} {r.message} {extra}".rstrip())
+        return "\n".join(lines)

@@ -1,0 +1,127 @@
+"""Convenience container wiring the simulation substrate together.
+
+A :class:`World` owns one scheduler, one network, one TCP stack, one
+tracer, one fault injector, and one seeded RNG.  Every test, example and
+benchmark starts by constructing a ``World`` and building domains,
+gateways and clients inside it.  ``World.run_until_done`` drives the
+event loop until a set of promises resolves, which is the idiomatic way
+to make synchronous-looking test code out of the asynchronous
+simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Optional
+
+from ..errors import SimulationError
+from .faults import FaultInjector
+from .host import Host
+from .network import LatencyModel, Network
+from .scheduler import Scheduler
+from .tcp import TcpStack
+from .trace import Tracer
+
+
+class Promise:
+    """A single-assignment result used to bridge async simulation to tests.
+
+    Resolve with :meth:`resolve` or fail with :meth:`reject`; registered
+    callbacks fire immediately on completion.  ``result()`` raises the
+    stored exception if the promise was rejected.
+    """
+
+    __slots__ = ("done", "_value", "_error", "_callbacks")
+
+    def __init__(self) -> None:
+        self.done = False
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks = []
+
+    def resolve(self, value: Any = None) -> None:
+        if self.done:
+            return
+        self.done = True
+        self._value = value
+        for fn in self._callbacks:
+            fn(self)
+        self._callbacks.clear()
+
+    def reject(self, error: BaseException) -> None:
+        if self.done:
+            return
+        self.done = True
+        self._error = error
+        for fn in self._callbacks:
+            fn(self)
+        self._callbacks.clear()
+
+    def on_done(self, fn) -> None:
+        if self.done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    @property
+    def failed(self) -> bool:
+        return self.done and self._error is not None
+
+    @property
+    def value(self) -> Any:
+        """The resolved value (None until resolution or when rejected)."""
+        return self._value
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        return self._error
+
+    def result(self) -> Any:
+        if not self.done:
+            raise SimulationError("promise not yet resolved")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class World:
+    """One simulated universe: scheduler + network + TCP + faults + RNG."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        latency_model: Optional[LatencyModel] = None,
+        trace: bool = True,
+        mtu: Optional[int] = None,
+    ) -> None:
+        self.scheduler = Scheduler()
+        self.tracer = Tracer(enabled=trace)
+        self.network = Network(self.scheduler, latency_model=latency_model,
+                               tracer=self.tracer)
+        self.tcp = TcpStack(self.network, mtu=mtu)
+        self.faults = FaultInjector(self.scheduler, self.network)
+        self.rng = random.Random(seed)
+        self.seed = seed
+
+    @property
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def add_host(self, name: str, site: Optional[str] = None) -> Host:
+        return self.network.add_host(name, site=site)
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        return self.scheduler.run(until=until, max_events=max_events)
+
+    def run_until_done(self, promises: Iterable[Promise],
+                       timeout: float = 120.0) -> None:
+        """Drive the simulation until every promise completes."""
+        pending = list(promises)
+        self.scheduler.run_until(
+            lambda: all(p.done for p in pending), timeout=timeout,
+        )
+
+    def await_promise(self, promise: Promise, timeout: float = 120.0) -> Any:
+        """Run until ``promise`` completes and return (or raise) its result."""
+        self.scheduler.run_until(lambda: promise.done, timeout=timeout)
+        return promise.result()

@@ -1,0 +1,32 @@
+"""Totem-style reliable totally-ordered multicast (paper reference [4]).
+
+Eternal conveys all intra-domain traffic over a group communication
+system providing reliable delivery and a single total order; the
+paper's identifiers (Figure 6) are built from its message sequence
+numbers.  This package implements a faithful simplification of Totem's
+single-ring protocol: rotating token, token-loss detection, membership
+gather/commit, retransmission, and aru-based stability.
+"""
+
+from .member import TotemConfig, TotemMember
+from .messages import (
+    CommitMessage,
+    INITIAL_RING,
+    JoinMessage,
+    RegularMessage,
+    RingId,
+    Token,
+)
+from .transport import TotemTransport
+
+__all__ = [
+    "CommitMessage",
+    "INITIAL_RING",
+    "JoinMessage",
+    "RegularMessage",
+    "RingId",
+    "Token",
+    "TotemConfig",
+    "TotemMember",
+    "TotemTransport",
+]

@@ -1,0 +1,476 @@
+"""The Totem single-ring protocol state machine.
+
+Each processor in a fault tolerance domain runs one
+:class:`TotemMember`.  The protocol provides what Eternal consumes
+(paper section 2): reliable delivery, a single total order across the
+domain with system-wide unique, monotonically increasing sequence
+numbers (used as identifier timestamps), stability (aru) for log
+truncation, and membership change notifications on processor failure,
+recovery, and join.
+
+Protocol sketch (a faithful simplification of Totem's single-ring
+ordering and membership protocols):
+
+* OPERATIONAL — a token rotates around the ring in member-name order.
+  The token holder assigns sequence numbers to its queued payloads and
+  broadcasts them, serves retransmission requests carried on the token,
+  folds its received-up-to into the token's aru computation, and
+  forwards the token.  Token receipt re-arms a loss timer.
+* GATHER — entered on token loss, on hearing a foreign Join, or at
+  start-up.  Members broadcast Join messages naming the candidates they
+  have heard from; after the gather window the lowest-named candidate
+  acts as leader, broadcasts a Commit carrying the new ring identity,
+  sorted membership and a starting sequence number (the maximum any
+  member has seen, so sequence numbers never regress), and regenerates
+  the token.
+
+Delivery is *agreed*: a member delivers messages in sequence order with
+no gaps.  Gaps are repaired via token retransmission requests; a gap
+whose message no longer exists anywhere (its sender crashed before the
+broadcast reached any survivor) is skipped after a bounded number of
+token rotations and traced as ``totem.gap_skipped`` — the membership
+change is the consistency cut, as in virtually synchronous systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..sim.host import Host, Process
+from ..sim.scheduler import Timer
+from ..sim.trace import Tracer
+from .messages import (
+    CommitMessage,
+    INITIAL_RING,
+    JoinMessage,
+    RegularMessage,
+    RingId,
+    Token,
+)
+from .transport import TotemTransport
+
+DeliverFn = Callable[[int, str, Any], None]
+MembershipFn = Callable[[Tuple[str, ...], RingId], None]
+
+
+@dataclass
+class TotemConfig:
+    """Protocol timing and flow-control knobs (simulated seconds)."""
+
+    token_hold: float = 0.0002          # processing delay before forwarding
+    token_loss_timeout: float = 0.025   # silence before declaring token lost
+    gather_timeout: float = 0.010       # join-collection window
+    rejoin_backoff: float = 0.005       # wait before re-gathering when excluded
+    max_messages_per_token: int = 16    # flow control: sends per token visit
+    gap_give_up_rotations: int = 8      # rotations before skipping a dead gap
+
+
+class TotemMember(Process):
+    """One ring member; see module docstring for the protocol."""
+
+    OPERATIONAL = "operational"
+    GATHER = "gather"
+
+    def __init__(
+        self,
+        host: Host,
+        name: str,
+        transport: TotemTransport,
+        config: Optional[TotemConfig] = None,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        super().__init__(host, name)
+        self.transport = transport
+        self.config = config or TotemConfig()
+        self.tracer = tracer or Tracer(enabled=False)
+
+        self.state = TotemMember.GATHER
+        self.ring_id: RingId = INITIAL_RING
+        self.members: Tuple[str, ...] = ()
+
+        # Ordering state.
+        self.delivered_up_to = 0           # highest contiguously delivered seq
+        self.my_aru = 0                    # == delivered_up_to (agreed delivery)
+        self.stable_up_to = 0              # highest seq known stable (aru)
+        self._safe_listeners: List[DeliverFn] = []
+        self._safe_buffer: Dict[int, RegularMessage] = {}
+        self._safe_delivered_up_to = 0
+        self._buffer: Dict[int, RegularMessage] = {}   # undelivered, seq > aru
+        self._store: Dict[int, RegularMessage] = {}    # for retransmission, GC'd at aru
+        self._gap_age: Dict[int, int] = {}             # seq -> rotations waited
+        self._pending: List[Tuple[Any, int]] = []      # (payload, size) to send
+
+        # Gather state.
+        self._candidates: Set[str] = set()
+        self._gather_max_seq = 0
+        self._max_ring_gen = 0
+        self._gather_timer: Optional[Timer] = None
+        self._loss_timer: Optional[Timer] = None
+
+        # Listener callbacks (upper layer: Eternal Replication Mechanisms).
+        self._deliver_listeners: List[DeliverFn] = []
+        self._membership_listeners: List[MembershipFn] = []
+
+        # Statistics.
+        self.stats = {
+            "delivered": 0, "sent": 0, "token_passes": 0,
+            "reformations": 0, "retransmits": 0, "gaps_skipped": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def on_deliver(self, fn: DeliverFn) -> None:
+        """Register ``fn(seq, sender_name, payload)`` called in total order."""
+        self._deliver_listeners.append(fn)
+
+    def on_membership(self, fn: MembershipFn) -> None:
+        """Register ``fn(members, ring_id)`` called at each installation."""
+        self._membership_listeners.append(fn)
+
+    def on_deliver_safe(self, fn: DeliverFn) -> None:
+        """Register ``fn(seq, sender, payload)`` with Totem *safe*
+        delivery: called only once the message is known stable, i.e.
+        received by every current ring member (seq <= aru).  Safe
+        delivery lags agreed delivery by roughly one token rotation."""
+        self._safe_listeners.append(fn)
+
+    def multicast(self, payload: Any, size: int = 64) -> None:
+        """Queue ``payload`` for totally-ordered broadcast to the ring."""
+        self._pending.append((payload, size))
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def handle_start(self) -> None:
+        self.transport.register(self)
+        self._enter_gather("start")
+
+    def handle_stop(self) -> None:
+        self.transport.deregister(self.name)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def receive(self, message: Any) -> None:
+        if not self.alive:
+            return
+        if isinstance(message, RegularMessage):
+            self._on_regular(message)
+        elif isinstance(message, Token):
+            self._on_token(message)
+        elif isinstance(message, JoinMessage):
+            self._on_join(message)
+        elif isinstance(message, CommitMessage):
+            self._on_commit(message)
+
+    # ------------------------------------------------------------------
+    # Operational: regular messages
+    # ------------------------------------------------------------------
+
+    def _on_regular(self, msg: RegularMessage) -> None:
+        if msg.ring_id != self.ring_id:
+            return
+        if msg.seq <= self.delivered_up_to or msg.seq in self._buffer:
+            return  # duplicate (retransmission already received)
+        self._buffer[msg.seq] = msg
+        self._store[msg.seq] = msg
+        self._try_deliver()
+
+    def _try_deliver(self) -> None:
+        while self.delivered_up_to + 1 in self._buffer:
+            seq = self.delivered_up_to + 1
+            msg = self._buffer.pop(seq)
+            self.delivered_up_to = seq
+            self.my_aru = seq
+            self._gap_age.pop(seq, None)
+            self.stats["delivered"] += 1
+            for fn in list(self._deliver_listeners):
+                fn(msg.seq, msg.sender, msg.payload)
+            if self._safe_listeners:
+                self._safe_buffer[msg.seq] = msg
+            if not self.alive:
+                return  # a listener crashed this host
+
+    # ------------------------------------------------------------------
+    # Operational: token handling
+    # ------------------------------------------------------------------
+
+    def _on_token(self, token: Token) -> None:
+        if self.state != TotemMember.OPERATIONAL or token.ring_id != self.ring_id:
+            return
+        self.stats["token_passes"] += 1
+        self._reset_loss_timer()
+
+        # 1. Serve retransmission requests we can satisfy.
+        if token.rtr:
+            for seq in sorted(token.rtr):
+                stored = self._store.get(seq)
+                if stored is not None:
+                    token.rtr.discard(seq)
+                    self.stats["retransmits"] += 1
+                    self.transport.broadcast(self, stored, size=stored.size_hint)
+
+        # 2. Request retransmission of our own gaps; age them out when
+        #    nobody can serve them (sender crashed pre-broadcast).
+        gaps = self._current_gaps(token.seq)
+        for seq in gaps:
+            age = self._gap_age.get(seq, 0) + 1
+            self._gap_age[seq] = age
+            if age > self.config.gap_give_up_rotations:
+                self._skip_gap(seq)
+            else:
+                token.rtr.add(seq)
+
+        # 3. Broadcast queued payloads under flow control.
+        quota = self.config.max_messages_per_token
+        while self._pending and quota > 0:
+            payload, size = self._pending.pop(0)
+            token.seq += 1
+            msg = RegularMessage(self.ring_id, token.seq, self.name, payload, size)
+            self.stats["sent"] += 1
+            self.transport.broadcast(self, msg, size=size)
+            quota -= 1
+
+        # 4. Stability: aru is the minimum received-up-to over the
+        #    previous full rotation, folded at the ring leader.
+        token.aru_candidate = min(token.aru_candidate, self.my_aru)
+        if self.members and self.name == self.members[0]:
+            token.rotation += 1
+            token.aru = max(token.aru, token.aru_candidate)
+            token.aru_candidate = self.my_aru
+        # Every member truncates its retransmission store at stability:
+        # messages at or below aru have been received everywhere.
+        self._gc_store(token.aru)
+        self.stable_up_to = max(self.stable_up_to, token.aru)
+        self._flush_safe(self.stable_up_to)
+
+        # 5. Forward to the ring successor after the hold time.
+        self.after(self.config.token_hold, self._forward_token, token)
+
+    def _forward_token(self, token: Token) -> None:
+        if self.state != TotemMember.OPERATIONAL or token.ring_id != self.ring_id:
+            return
+        successor = self._successor()
+        if successor == self.name:
+            # Singleton ring: re-process our own token after a beat.
+            self.after(self.config.token_hold, self._on_token, token)
+        else:
+            self.transport.unicast(self, successor, token, size=32)
+
+    def _successor(self) -> str:
+        index = self.members.index(self.name)
+        return self.members[(index + 1) % len(self.members)]
+
+    def _current_gaps(self, highest: int) -> List[int]:
+        if not self._buffer and highest <= self.delivered_up_to:
+            return []
+        upper = max([highest] + list(self._buffer))
+        return [s for s in range(self.delivered_up_to + 1, upper + 1)
+                if s not in self._buffer]
+
+    def _skip_gap(self, seq: int) -> None:
+        """Abandon an unrecoverable gap (consistency cut at failure)."""
+        if seq != self.delivered_up_to + 1:
+            return  # only skip at the delivery frontier
+        self.stats["gaps_skipped"] += 1
+        self._gap_age.pop(seq, None)
+        self.tracer.emit(self.scheduler.now, "totem.gap_skipped", self.name,
+                         f"skipping unrecoverable seq {seq}")
+        self.delivered_up_to = seq
+        self.my_aru = seq
+        self._try_deliver()
+
+    def _gc_store(self, aru: int) -> None:
+        for seq in [s for s in self._store if s <= aru]:
+            del self._store[seq]
+
+    def _flush_safe(self, stable_up_to: int) -> None:
+        """Safe-deliver buffered messages that became stable, in order."""
+        if not self._safe_listeners:
+            return
+        for seq in sorted(self._safe_buffer):
+            if seq > stable_up_to:
+                break
+            msg = self._safe_buffer.pop(seq)
+            self._safe_delivered_up_to = seq
+            for fn in list(self._safe_listeners):
+                fn(msg.seq, msg.sender, msg.payload)
+
+    def _reset_loss_timer(self) -> None:
+        if self._loss_timer is not None:
+            self._loss_timer.cancel()
+        self._loss_timer = self.after(
+            self.config.token_loss_timeout, self._on_token_loss)
+
+    def _on_token_loss(self) -> None:
+        if self.state != TotemMember.OPERATIONAL:
+            return
+        self.tracer.emit(self.scheduler.now, "totem.token_loss", self.name,
+                         "token loss timeout")
+        self._enter_gather("token loss")
+
+    # ------------------------------------------------------------------
+    # Membership: gather and commit
+    # ------------------------------------------------------------------
+
+    def _enter_gather(self, reason: str) -> None:
+        self.state = TotemMember.GATHER
+        if self._loss_timer is not None:
+            self._loss_timer.cancel()
+            self._loss_timer = None
+        self._candidates = {self.name}
+        self._gather_max_seq = self._highest_seen()
+        self._max_ring_gen = max(self._max_ring_gen, self.ring_id[0])
+        self.tracer.emit(self.scheduler.now, "totem.gather", self.name,
+                         f"entering gather ({reason})")
+        self._broadcast_join()
+        self._restart_gather_timer()
+
+    def _broadcast_join(self) -> None:
+        join = JoinMessage(
+            sender=self.name,
+            ring_id=self.ring_id,
+            candidates=frozenset(self._candidates),
+            max_seq=self._highest_seen(),
+        )
+        self.transport.broadcast(self, join, size=48)
+
+    def _restart_gather_timer(self) -> None:
+        if self._gather_timer is not None:
+            self._gather_timer.cancel()
+        self._gather_timer = self.after(
+            self.config.gather_timeout, self._on_gather_complete)
+
+    def _highest_seen(self) -> int:
+        if self._buffer:
+            return max(self.delivered_up_to, max(self._buffer))
+        return self.delivered_up_to
+
+    def _on_join(self, join: JoinMessage) -> None:
+        if self.state == TotemMember.OPERATIONAL:
+            if join.sender in self.members and join.ring_id == self.ring_id:
+                # A current member lost the token: reform.
+                self._enter_gather(f"join from member {join.sender}")
+            elif join.sender not in self.members:
+                # A new or recovered processor wants in: reform.
+                self._enter_gather(f"join from newcomer {join.sender}")
+            else:
+                return
+        # GATHER state: merge candidate knowledge.
+        before = set(self._candidates)
+        self._candidates.add(join.sender)
+        self._candidates.update(join.candidates)
+        self._gather_max_seq = max(self._gather_max_seq, join.max_seq)
+        self._max_ring_gen = max(self._max_ring_gen, join.ring_id[0])
+        if self._candidates != before:
+            # New information: re-announce and extend the window so that
+            # everyone converges on the same candidate set.
+            self._broadcast_join()
+            self._restart_gather_timer()
+
+    def _on_gather_complete(self) -> None:
+        if self.state != TotemMember.GATHER:
+            return
+        members = tuple(sorted(self._candidates))
+        leader = members[0]
+        if leader != self.name:
+            # Wait for the leader's commit; if it never comes (leader
+            # died during gather), the retry timer re-enters gather.
+            self._gather_timer = self.after(
+                self.config.gather_timeout + self.config.rejoin_backoff,
+                self._commit_wait_expired)
+            return
+        ring_id: RingId = (self._max_ring_gen + 1, leader)
+        commit = CommitMessage(
+            ring_id=ring_id,
+            members=members,
+            start_seq=self._gather_max_seq,
+            leader=leader,
+        )
+        self.transport.broadcast(self, commit, size=64)
+
+    def _commit_wait_expired(self) -> None:
+        if self.state == TotemMember.GATHER:
+            self._enter_gather("commit wait expired")
+
+    def _on_commit(self, commit: CommitMessage) -> None:
+        if commit.ring_id[0] <= self.ring_id[0] and self.ring_id != INITIAL_RING:
+            return  # stale commit
+        if self.name not in commit.members:
+            # Excluded (our join raced the gather): try again shortly.
+            if self.state == TotemMember.GATHER:
+                self.after(self.config.rejoin_backoff, self._rejoin)
+            return
+        if commit.start_seq < self._highest_seen():
+            # The leader never saw our join information; installing would
+            # recycle sequence numbers we already hold.  Force a new round.
+            self._enter_gather("commit below local horizon")
+            return
+        self._install(commit)
+
+    def _rejoin(self) -> None:
+        if self.state == TotemMember.GATHER:
+            self._enter_gather("rejoin after exclusion")
+
+    def _install(self, commit: CommitMessage) -> None:
+        if self._gather_timer is not None:
+            self._gather_timer.cancel()
+            self._gather_timer = None
+        # Deliver whatever we still hold from the old ring, in order,
+        # then cut at the membership change.
+        self._flush_old_ring(commit.start_seq)
+        self.state = TotemMember.OPERATIONAL
+        self.ring_id = commit.ring_id
+        self.members = commit.members
+        self._max_ring_gen = commit.ring_id[0]
+        self._gap_age.clear()
+        self.stats["reformations"] += 1
+        self.tracer.emit(self.scheduler.now, "totem.install", self.name,
+                         f"ring {commit.ring_id} installed",
+                         members=list(commit.members),
+                         start_seq=commit.start_seq)
+        for fn in list(self._membership_listeners):
+            fn(self.members, self.ring_id)
+        self._reset_loss_timer()
+        if commit.leader == self.name:
+            token = Token(
+                ring_id=commit.ring_id,
+                seq=commit.start_seq,
+                aru=commit.start_seq,
+                aru_candidate=commit.start_seq,
+            )
+            self.soon(self._on_token, token)
+
+    def _flush_old_ring(self, start_seq: int) -> None:
+        """Deliver buffered old-ring messages up to the cut, then reset."""
+        for seq in sorted(self._buffer):
+            if seq > start_seq:
+                break
+            if seq == self.delivered_up_to + 1:
+                self._try_deliver()
+        if self._buffer:
+            # Anything still buffered is either below the cut with an
+            # unrepairable gap in front of it (lost with its crashed
+            # sender, consistently across survivors thanks to atomic
+            # broadcasts) or stale old-ring traffic; both are dropped.
+            self.tracer.emit(self.scheduler.now, "totem.flush_dropped",
+                             self.name,
+                             f"dropping {len(self._buffer)} undeliverable messages at cut")
+            self._buffer.clear()
+        if self.delivered_up_to < start_seq:
+            self.delivered_up_to = start_seq
+            self.my_aru = start_seq
+        self._store.clear()
+        # The membership change is a stability cut: everything the
+        # survivors delivered from the old ring is final now.
+        self.stable_up_to = max(self.stable_up_to, self.delivered_up_to)
+        self._flush_safe(self.stable_up_to)

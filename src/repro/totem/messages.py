@@ -1,0 +1,76 @@
+"""Wire messages of the Totem-style single-ring protocol.
+
+Four message kinds circulate among ring members:
+
+* :class:`RegularMessage` — an application payload stamped with a ring
+  identity and a totally-ordered sequence number.  These sequence
+  numbers are the "message timestamps" of the paper's Figure 6: Eternal
+  derives invocation/response identifier timestamps from them.
+* :class:`Token` — the circulating token: sequencing authority,
+  all-received-up-to (aru) stability tracking, and retransmission
+  requests.
+* :class:`JoinMessage` — membership gathering after token loss or a
+  joining processor.
+* :class:`CommitMessage` — installs a new ring (membership change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Set, Tuple
+
+# A ring is identified by (generation counter, leader name): the leader
+# component keeps concurrently formed rings (during a partition) distinct.
+RingId = Tuple[int, str]
+
+INITIAL_RING: RingId = (0, "")
+
+
+@dataclass
+class RegularMessage:
+    """A totally-ordered multicast payload."""
+
+    ring_id: RingId
+    seq: int
+    sender: str
+    payload: Any
+    size_hint: int = 64
+
+
+@dataclass
+class Token:
+    """The rotating token of the single-ring protocol.
+
+    ``seq`` is the highest sequence number assigned on this ring.
+    ``aru`` trails ``seq``: it is the minimum received-up-to observed
+    over the previous full rotation, so every message with
+    ``seq <= aru`` is stable (received everywhere) and can be garbage
+    collected from retransmission stores.
+    """
+
+    ring_id: RingId
+    seq: int
+    aru: int
+    aru_candidate: int
+    rotation: int = 0
+    rtr: Set[int] = field(default_factory=set)
+
+
+@dataclass
+class JoinMessage:
+    """Broadcast while gathering a new membership."""
+
+    sender: str
+    ring_id: RingId
+    candidates: FrozenSet[str]
+    max_seq: int
+
+
+@dataclass
+class CommitMessage:
+    """Installs a new ring: membership, identity, starting sequence."""
+
+    ring_id: RingId
+    members: Tuple[str, ...]
+    start_seq: int
+    leader: str

@@ -1,0 +1,67 @@
+"""Datagram transport and member registry for one Totem domain.
+
+Totem runs over a LAN broadcast medium; here the broadcast is modelled
+as one datagram per registered member sent in a single scheduler event,
+which makes every broadcast *atomic with respect to crashes*: a message
+is either offered to all live members or (if the sender was already
+dead) to none.  This matches the paper's fault model, where message
+loss comes from processor failure and partition, not per-link drops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, TYPE_CHECKING
+
+from ..sim.network import Network
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .member import TotemMember
+
+
+class TotemTransport:
+    """Names the members of one fault tolerance domain's ring."""
+
+    def __init__(self, network: Network, domain_name: str) -> None:
+        self.network = network
+        self.domain_name = domain_name
+        self._members: Dict[str, "TotemMember"] = {}
+        self.broadcasts = 0
+        self.datagrams = 0
+
+    def register(self, member: "TotemMember") -> None:
+        self._members[member.name] = member
+
+    def deregister(self, member_name: str) -> None:
+        self._members.pop(member_name, None)
+
+    def member_names(self) -> list:
+        return sorted(self._members)
+
+    def lookup(self, name: str) -> Optional["TotemMember"]:
+        return self._members.get(name)
+
+    # ------------------------------------------------------------------
+    # Datagram primitives
+    # ------------------------------------------------------------------
+
+    def unicast(self, sender: "TotemMember", target_name: str, message: Any,
+                size: int = 64) -> None:
+        target = self._members.get(target_name)
+        if target is None:
+            return
+        self.datagrams += 1
+        self.network.send(
+            sender.host, target.host, message,
+            lambda msg, t=target: t.receive(msg), size=size,
+        )
+
+    def broadcast(self, sender: "TotemMember", message: Any,
+                  size: int = 64) -> None:
+        """Send ``message`` to every registered member (including sender)."""
+        self.broadcasts += 1
+        for target in list(self._members.values()):
+            self.datagrams += 1
+            self.network.send(
+                sender.host, target.host, message,
+                lambda msg, t=target: t.receive(msg), size=size,
+            )

@@ -1,0 +1,10 @@
+"""Pytest fixtures shared by the whole suite."""
+
+import pytest
+
+from repro import World
+
+
+@pytest.fixture
+def world():
+    return World(seed=1234)

@@ -1,0 +1,75 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro import (
+    FaultToleranceDomain,
+    FtClientLayer,
+    Orb,
+    ReplicationStyle,
+    TotemConfig,
+    World,
+)
+from repro.apps import COUNTER_INTERFACE, CounterServant
+
+
+
+
+def make_domain(world, name="dom", num_hosts=3, gateways=0, mirror=True,
+                totem_config=None):
+    """A stable domain with ``gateways`` gateways attached."""
+    domain = FaultToleranceDomain(world, name, num_hosts=num_hosts,
+                                  totem_config=totem_config)
+    for _ in range(gateways):
+        domain.add_gateway(port=2809, mirror_requests=mirror)
+    domain.await_stable()
+    return domain
+
+
+def make_counter_group(domain, style=ReplicationStyle.ACTIVE, replicas=3,
+                       name="Counter", **kwargs):
+    return domain.create_group(name, COUNTER_INTERFACE, CounterServant,
+                               style=style, num_replicas=replicas, **kwargs)
+
+
+def external_client(world, domain, group, enhanced=True, host_name="browser",
+                    first_gateway_only=False):
+    """Returns (orb, stub) for an unreplicated client outside the domain."""
+    host = (world.network.hosts.get(host_name)
+            or world.add_host(host_name))
+    orb = Orb(world, host, request_timeout=None)
+    ior = domain.ior_for(group, first_gateway_only=first_gateway_only)
+    if enhanced:
+        layer = FtClientLayer(orb)
+        stub = layer.string_to_object(ior.to_string(), group.interface)
+        return orb, stub, layer
+    stub = orb.string_to_object(ior.to_string(), group.interface)
+    return orb, stub, None
+
+
+def replica_counts(domain, group):
+    """Counter values at every live replica of ``group``."""
+    values = {}
+    for host_name, rm in domain.rms.items():
+        record = rm.replicas.get(group.group_id)
+        if record is not None and rm.alive:
+            values[host_name] = record.servant.count
+    return values
+
+
+SLOW_TOTEM = TotemConfig(token_hold=0.005, token_loss_timeout=0.12,
+                         gather_timeout=0.02)
+"""A deliberately slow ring (with a matching loss timeout): widens the
+request-in-flight window for crash-timing tests."""
+
+
+def crash_gateway_on_response(world, gateway):
+    """Arrange for ``gateway`` to crash at the exact instant the next
+    domain response reaches it -- after the invocation executed inside
+    the domain, before the reply can leave for the client.  This is the
+    precise failure window sections 3.4/3.5 reason about."""
+
+    def crash_instead(msg):
+        world.faults.crash_now(gateway.host.name)
+
+    gateway._on_domain_response = crash_instead

@@ -1,0 +1,171 @@
+"""Unit tests for the application servants (no infrastructure)."""
+
+import pytest
+
+from repro.apps import (
+    AccountServant,
+    CounterServant,
+    LedgerServant,
+    QuoteServant,
+    SettlementServant,
+    TradingDeskServant,
+    TransferAgentServant,
+)
+from repro.errors import InvocationFailure
+from repro.orb.servant import NestedCall
+
+
+# ----------------------------------------------------------------------
+# Counter
+# ----------------------------------------------------------------------
+
+def test_counter_increments_and_decrements():
+    counter = CounterServant()
+    assert counter.increment(5) == 5
+    assert counter.decrement(2) == 3
+    assert counter.value() == 3
+    counter.reset()
+    assert counter.value() == 0
+
+
+def test_counter_guard_raises_when_negative():
+    counter = CounterServant()
+    counter.decrement(1)
+    with pytest.raises(InvocationFailure):
+        counter.fail_if_negative()
+
+
+def test_counter_state_roundtrip():
+    a = CounterServant()
+    a.increment(9)
+    b = CounterServant()
+    b.set_state(a.get_state())
+    assert b.value() == 9
+
+
+# ----------------------------------------------------------------------
+# Bank
+# ----------------------------------------------------------------------
+
+def test_account_deposit_withdraw_balance():
+    accounts = AccountServant()
+    accounts.open("alice")
+    assert accounts.deposit("alice", 100) == 100
+    assert accounts.withdraw("alice", 30) == 70
+    assert accounts.balance("alice") == 70
+    assert accounts.balance("stranger") == 0
+
+
+def test_account_overdraft_rejected():
+    accounts = AccountServant()
+    with pytest.raises(InvocationFailure) as excinfo:
+        accounts.withdraw("alice", 1)
+    assert "InsufficientFunds" in excinfo.value.repo_id
+
+
+def test_account_negative_deposit_rejected():
+    accounts = AccountServant()
+    with pytest.raises(InvocationFailure):
+        accounts.deposit("alice", -5)
+
+
+def test_ledger_appends_and_counts():
+    ledger = LedgerServant()
+    assert ledger.record("a->b:1") == 1
+    assert ledger.record("b->c:2") == 2
+    assert ledger.entries() == 2
+    assert ledger.log == ["a->b:1", "b->c:2"]
+
+
+def test_transfer_agent_yields_expected_nested_calls():
+    agent = TransferAgentServant()
+    generator = agent.transfer("alice", "bob", 25)
+    first = next(generator)
+    assert first == NestedCall("Accounts", "withdraw", ["alice", 25])
+    second = generator.send(75)          # alice's new balance
+    assert second == NestedCall("Accounts", "deposit", ["bob", 25])
+    third = generator.send(25)           # bob's new balance
+    assert third.target == "Ledger"
+    assert third.args == ["alice->bob:25"]
+    with pytest.raises(StopIteration) as stop:
+        generator.send(1)
+    assert stop.value.value == 25
+    assert agent.transfers_done() == 1
+
+
+def test_transfer_agent_configurable_group_names():
+    agent = TransferAgentServant(accounts_group="Vault", ledger_group="Audit")
+    generator = agent.transfer("x", "y", 1)
+    assert next(generator).target == "Vault"
+
+
+# ----------------------------------------------------------------------
+# Stock trading
+# ----------------------------------------------------------------------
+
+def test_quote_service_prices():
+    quotes = QuoteServant({"ACME": 1500})
+    assert quotes.price("ACME") == 1500
+    quotes.set_price("ACME", 1600)
+    assert quotes.price("ACME") == 1600
+    with pytest.raises(InvocationFailure):
+        quotes.price("GHOST")
+
+
+def test_settlement_counts():
+    settlement = SettlementServant()
+    assert settlement.settle("BUY alice 1 ACME", 1500) == 1
+    assert settlement.settled_count() == 1
+
+
+def test_trading_desk_buy_flow():
+    desk = TradingDeskServant()
+    generator = desk.buy("alice", "ACME", 10)
+    quote_call = next(generator)
+    assert quote_call == NestedCall("Quotes", "price", ["ACME"])
+    settle_call = generator.send(1500)
+    assert settle_call.operation == "settle"
+    assert settle_call.args[1] == 15_000  # 10 shares x 1500 cents
+    with pytest.raises(StopIteration) as stop:
+        generator.send(1)
+    assert stop.value.value == 10
+    assert desk.position("alice", "ACME") == 10
+    assert desk.orders_executed() == 1
+
+
+def test_trading_desk_sell_requires_position():
+    desk = TradingDeskServant()
+    generator = desk.sell("alice", "ACME", 5)
+    with pytest.raises(InvocationFailure):
+        next(generator)
+
+
+def test_trading_desk_rejects_nonpositive_orders():
+    desk = TradingDeskServant()
+    with pytest.raises(InvocationFailure):
+        next(desk.buy("alice", "ACME", 0))
+
+
+def test_trading_desk_sell_reduces_position():
+    desk = TradingDeskServant()
+    generator = desk.buy("alice", "ACME", 10)
+    next(generator)
+    generator.send(100)
+    with pytest.raises(StopIteration):
+        generator.send(1)
+    generator = desk.sell("alice", "ACME", 4)
+    next(generator)
+    generator.send(100)
+    with pytest.raises(StopIteration) as stop:
+        generator.send(2)
+    assert stop.value.value == 6
+
+
+def test_trading_desk_settlement_target_interface_passthrough():
+    desk = TradingDeskServant(settlement_target="IOR:abcd",
+                              settlement_interface="Settlement")
+    generator = desk.buy("a", "ACME", 1)
+    next(generator)
+    settle_call = generator.send(100)
+    assert settle_call.target == "IOR:abcd"
+    assert settle_call.interface == "Settlement"

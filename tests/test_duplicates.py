@@ -1,0 +1,109 @@
+"""Unit tests for duplicate response suppression and voting (section 3.3)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import DuplicateSuppressor
+
+
+def test_first_response_delivered_rest_suppressed():
+    s = DuplicateSuppressor()
+    s.expect("op1")
+    verdict, payload = s.offer("op1", b"reply", responder="r0")
+    assert verdict == DuplicateSuppressor.DELIVER
+    assert payload == b"reply"
+    for responder in ("r1", "r2"):
+        verdict, _ = s.offer("op1", b"reply", responder=responder)
+        assert verdict == DuplicateSuppressor.DUPLICATE
+    assert s.stats["delivered"] == 1
+    assert s.stats["duplicates_suppressed"] == 2
+
+
+def test_unexpected_response_reported():
+    s = DuplicateSuppressor()
+    verdict, _ = s.offer("unknown", b"x")
+    assert verdict == DuplicateSuppressor.UNEXPECTED
+    assert s.stats["unexpected"] == 1
+
+
+def test_voting_requires_majority():
+    s = DuplicateSuppressor()
+    s.expect("op", votes_needed=2)
+    verdict, _ = s.offer("op", b"good", responder="r0")
+    assert verdict == DuplicateSuppressor.PENDING
+    verdict, payload = s.offer("op", b"good", responder="r1")
+    assert verdict == DuplicateSuppressor.DELIVER
+    assert payload == b"good"
+
+
+def test_voting_masks_minority_value_fault():
+    """One faulty replica returns different bytes; majority wins."""
+    s = DuplicateSuppressor()
+    s.expect("op", votes_needed=2)
+    assert s.offer("op", b"WRONG", responder="bad")[0] == DuplicateSuppressor.PENDING
+    assert s.offer("op", b"good", responder="r1")[0] == DuplicateSuppressor.PENDING
+    verdict, payload = s.offer("op", b"good", responder="r2")
+    assert verdict == DuplicateSuppressor.DELIVER
+    assert payload == b"good"
+
+
+def test_same_responder_cannot_vote_twice():
+    s = DuplicateSuppressor()
+    s.expect("op", votes_needed=2)
+    assert s.offer("op", b"x", responder="r0")[0] == DuplicateSuppressor.PENDING
+    assert s.offer("op", b"x", responder="r0")[0] == DuplicateSuppressor.DUPLICATE
+    assert s.offer("op", b"x", responder="r1")[0] == DuplicateSuppressor.DELIVER
+
+
+def test_expect_is_idempotent():
+    s = DuplicateSuppressor()
+    s.expect("op", votes_needed=2)
+    s.expect("op", votes_needed=1)  # later expect does not weaken voting
+    assert s.offer("op", b"x", responder="a")[0] == DuplicateSuppressor.PENDING
+
+
+def test_expect_after_delivery_is_ignored():
+    s = DuplicateSuppressor()
+    s.expect("op")
+    s.offer("op", b"x")
+    s.expect("op")
+    assert s.offer("op", b"x")[0] == DuplicateSuppressor.DUPLICATE
+
+
+def test_cancel_removes_expectation():
+    s = DuplicateSuppressor()
+    s.expect("op")
+    s.cancel("op")
+    assert s.offer("op", b"x")[0] == DuplicateSuppressor.UNEXPECTED
+
+
+def test_delivered_memory_is_bounded():
+    s = DuplicateSuppressor(remember_delivered=10)
+    for i in range(25):
+        s.expect(i)
+        s.offer(i, b"r")
+    # The oldest delivered keys have been evicted.
+    assert not s.was_delivered(0)
+    assert s.was_delivered(24)
+
+
+def test_independent_keys_do_not_interfere():
+    s = DuplicateSuppressor()
+    s.expect("a")
+    s.expect("b")
+    assert s.offer("a", b"ra")[0] == DuplicateSuppressor.DELIVER
+    assert s.offer("b", b"rb")[0] == DuplicateSuppressor.DELIVER
+
+
+@given(st.integers(1, 7), st.integers(1, 7))
+def test_exactly_one_delivery_property(replicas, votes_needed):
+    """However many replica responses arrive, at most one is delivered,
+    and it is delivered iff enough identical votes arrived."""
+    s = DuplicateSuppressor()
+    s.expect("op", votes_needed=votes_needed)
+    delivered = 0
+    for i in range(replicas):
+        verdict, _ = s.offer("op", b"same", responder=f"r{i}")
+        if verdict == DuplicateSuppressor.DELIVER:
+            delivered += 1
+    assert delivered == (1 if replicas >= votes_needed else 0)

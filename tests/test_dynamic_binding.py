@@ -1,0 +1,125 @@
+"""Dynamic binding: servants resolving their dependencies by name.
+
+CORBA-era applications bind at runtime through the naming service.
+Here a replicated servant resolves a *cross-domain* target via its own
+domain's replicated naming service (a nested invocation) and then
+invokes it through the remote gateway (egress) — composing naming,
+nesting, determinism and the gateway path in one flow.
+"""
+
+import pytest
+
+from repro import NestedCall, ReplicationStyle, Servant, World
+from repro.apps import SETTLEMENT_INTERFACE, SettlementServant
+from repro.iiop import TC_LONG, TC_STRING
+from repro.orb import Interface, Operation, Param
+
+from tests.helpers import make_domain
+
+FRONT = Interface("Front", [
+    Operation("order", [Param("amount", TC_LONG)], TC_LONG),
+])
+
+
+class DynamicFrontServant(Servant):
+    """Resolves 'Settlement' from naming on first use, then settles."""
+
+    interface = FRONT
+
+    def __init__(self):
+        self.settlement_ior = ""
+
+    def order(self, amount):
+        if not self.settlement_ior:
+            # Nested call to the replicated naming service: every
+            # replica resolves at the same logical instant and caches
+            # the same IOR string (deterministic state).
+            self.settlement_ior = yield NestedCall(
+                "EternalNaming", "resolve", ["Settlement"])
+        count = yield NestedCall(self.settlement_ior, "settle",
+                                 ["dynamic-order", amount],
+                                 interface="Settlement")
+        return count
+
+
+def test_servant_resolves_cross_domain_target_via_naming(world):
+    # Remote domain hosting the settlement group.
+    remote = make_domain(world, name="remote", gateways=1)
+    settlement = remote.create_group("Settlement", SETTLEMENT_INTERFACE,
+                                     SettlementServant)
+    remote.await_ready(settlement)
+
+    # Local domain: naming holds the REMOTE object's IOR.
+    local = make_domain(world, name="local", gateways=1)
+    local.register_interface(SETTLEMENT_INTERFACE)
+    local.enable_naming()
+    world.await_promise(local.invoke(
+        "EternalNaming", "bind",
+        ["Settlement", remote.ior_for(settlement).to_string()]), timeout=600)
+
+    front = local.create_group("Front", FRONT, DynamicFrontServant)
+    assert world.await_promise(front.invoke("order", 100), timeout=600) == 1
+    assert world.await_promise(front.invoke("order", 50), timeout=600) == 2
+    world.run(until=world.now + 0.5)
+
+    # Exactly-once at the remote side, and every local replica cached
+    # the same resolved IOR.
+    for rm in remote.rms.values():
+        record = rm.replicas.get(settlement.group_id)
+        if record is not None:
+            assert record.servant.settled_count() == 2
+    iors = set()
+    for rm in local.rms.values():
+        record = rm.replicas.get(front.group_id)
+        if record is not None:
+            iors.add(record.servant.settlement_ior)
+    assert len(iors) == 1 and iors.pop().startswith("IOR:")
+
+
+def test_rebinding_redirects_future_orders(world):
+    """Operations teams repoint a name; servants that re-resolve pick up
+    the new target (here: resolve on every order)."""
+
+    class AlwaysResolve(Servant):
+        interface = FRONT
+
+        def order(self, amount):
+            ior = yield NestedCall("EternalNaming", "resolve",
+                                   ["Settlement"])
+            count = yield NestedCall(ior, "settle", ["o", amount],
+                                     interface="Settlement")
+            return count
+
+    remote_a = make_domain(world, name="ra", gateways=1)
+    settle_a = remote_a.create_group("Settlement", SETTLEMENT_INTERFACE,
+                                     SettlementServant)
+    remote_a.await_ready(settle_a)
+    remote_b = make_domain(world, name="rb", gateways=1)
+    settle_b = remote_b.create_group("Settlement", SETTLEMENT_INTERFACE,
+                                     SettlementServant)
+    remote_b.await_ready(settle_b)
+
+    local = make_domain(world, name="local", gateways=1)
+    local.register_interface(SETTLEMENT_INTERFACE)
+    local.enable_naming()
+    world.await_promise(local.invoke(
+        "EternalNaming", "rebind",
+        ["Settlement", remote_a.ior_for(settle_a).to_string()]), timeout=600)
+    front = local.create_group("Front", FRONT, AlwaysResolve)
+    world.await_promise(front.invoke("order", 1), timeout=600)
+
+    # Repoint the name to domain B; the next order lands there.
+    world.await_promise(local.invoke(
+        "EternalNaming", "rebind",
+        ["Settlement", remote_b.ior_for(settle_b).to_string()]), timeout=600)
+    world.await_promise(front.invoke("order", 2), timeout=600)
+    world.run(until=world.now + 0.5)
+
+    def settled(domain, group):
+        for rm in domain.rms.values():
+            record = rm.replicas.get(group.group_id)
+            if record is not None:
+                return record.servant.settled_count()
+
+    assert settled(remote_a, settle_a) == 1
+    assert settled(remote_b, settle_b) == 1

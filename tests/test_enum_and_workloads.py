@@ -1,0 +1,158 @@
+"""Tests for EnumTC and the benchmark workload generators."""
+
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import World
+from repro.errors import MarshalError
+from repro.iiop import CdrInputStream, CdrOutputStream, EnumTC
+from repro.sim.world import Promise
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+from workloads import closed_loop, open_loop, percentiles, read_mostly, write_heavy  # noqa: E402
+
+
+# ----------------------------------------------------------------------
+# EnumTC
+# ----------------------------------------------------------------------
+
+SIDE = EnumTC("OrderSide", ["BUY", "SELL", "CANCEL"])
+
+
+def test_enum_roundtrip():
+    out = CdrOutputStream()
+    SIDE.encode(out, "SELL")
+    assert out.getvalue() == b"\x00\x00\x00\x01"
+    assert SIDE.decode(CdrInputStream(out.getvalue())) == "SELL"
+
+
+def test_enum_rejects_unknown_member():
+    out = CdrOutputStream()
+    with pytest.raises(MarshalError):
+        SIDE.encode(out, "HOLD")
+
+
+def test_enum_rejects_out_of_range_ordinal():
+    with pytest.raises(MarshalError):
+        SIDE.decode(CdrInputStream(b"\x00\x00\x00\x09"))
+
+
+def test_enum_construction_validation():
+    with pytest.raises(MarshalError):
+        EnumTC("Empty", [])
+    with pytest.raises(MarshalError):
+        EnumTC("Dup", ["A", "A"])
+
+
+def test_enum_inside_operation(world):
+    from repro.iiop import TC_LONG
+    from repro.orb import Interface, Operation, Param, Servant
+    from tests.helpers import make_domain
+
+    ORDERS = Interface("Orders", [
+        Operation("place", [Param("side", SIDE), Param("qty", TC_LONG)],
+                  SIDE),
+    ])
+
+    class OrdersServant(Servant):
+        interface = ORDERS
+
+        def place(self, side, qty):
+            return "CANCEL" if qty <= 0 else side
+
+    domain = make_domain(world)
+    group = domain.create_group("Orders", ORDERS, OrdersServant)
+    assert world.await_promise(group.invoke("place", "BUY", 10)) == "BUY"
+    assert world.await_promise(group.invoke("place", "SELL", 0)) == "CANCEL"
+
+
+@given(st.sampled_from(["BUY", "SELL", "CANCEL"]))
+def test_enum_roundtrip_property(member):
+    out = CdrOutputStream()
+    SIDE.encode(out, member)
+    assert SIDE.decode(CdrInputStream(out.getvalue())) == member
+
+
+# ----------------------------------------------------------------------
+# Workload generators (driven against a fake in-sim stub)
+# ----------------------------------------------------------------------
+
+class FakeStub:
+    """Resolves each call after a fixed simulated service time."""
+
+    def __init__(self, world, service_time=0.01):
+        self.world = world
+        self.service_time = service_time
+        self.calls = []
+
+    def call(self, name, *args):
+        self.calls.append((name, args))
+        promise = Promise()
+        self.world.scheduler.call_after(self.service_time, promise.resolve,
+                                        len(self.calls))
+        return promise
+
+
+def test_closed_loop_runs_every_operation():
+    world = World(seed=1)
+    stub = FakeStub(world)
+    latencies = closed_loop(world, [stub], operations=5, mix=write_heavy)
+    assert len(latencies) == 5
+    assert all(lat == pytest.approx(0.01) for lat in latencies)
+    assert all(name == "increment" for name, _ in stub.calls)
+
+
+def test_closed_loop_with_think_time_spreads_requests():
+    world = World(seed=1)
+    stub = FakeStub(world)
+    closed_loop(world, [stub], operations=3, mix=write_heavy,
+                think_time=0.5)
+    # 3 ops, 0.01 service + 0.5 think between: > 1.0s simulated.
+    assert world.now > 1.0
+
+
+def test_closed_loop_multiple_stubs_run_concurrently():
+    world = World(seed=1)
+    stubs = [FakeStub(world), FakeStub(world)]
+    closed_loop(world, stubs, operations=4, mix=write_heavy)
+    assert all(len(stub.calls) == 4 for stub in stubs)
+    # Two sequential chains in parallel: total time ~ one chain.
+    assert world.now == pytest.approx(0.04)
+
+
+def test_open_loop_issues_by_arrival_process():
+    world = World(seed=3)
+    stub = FakeStub(world)
+    latencies = open_loop(world, stub, rate_per_s=100.0, duration_s=1.0,
+                          mix=write_heavy, seed=7)
+    assert 50 <= len(latencies) <= 200   # ~100 expected
+    assert all(lat == pytest.approx(0.01) for lat in latencies)
+
+
+def test_read_mostly_mix_is_mostly_reads():
+    import random
+    rng = random.Random(1)
+    ops = [read_mostly(rng, i)[0] for i in range(500)]
+    reads = ops.count("value")
+    assert reads > 400  # ~90%
+
+
+def test_percentiles_summary():
+    samples = [float(i) for i in range(1, 101)]
+    stats = percentiles(samples)
+    assert stats["count"] == 100
+    assert stats["mean"] == pytest.approx(50.5)
+    assert stats["p50"] == 50.0
+    assert stats["p95"] == 95.0
+    assert stats["p99"] == 99.0
+
+
+def test_percentiles_empty_and_singleton():
+    assert percentiles([]) == {}
+    stats = percentiles([2.5])
+    assert stats["p50"] == 2.5 and stats["p99"] == 2.5

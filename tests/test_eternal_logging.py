@@ -1,0 +1,61 @@
+"""Unit tests for the Logging-Recovery Mechanisms' group log."""
+
+from repro.core import OperationId
+from repro.eternal import DomainMessage, GroupLog, MsgKind
+
+
+def invocation(ts, seq=1):
+    msg = DomainMessage(kind=MsgKind.INVOCATION, source_group=0,
+                        target_group=10, op_id=OperationId(0, seq))
+    msg.timestamp = ts
+    return msg
+
+
+def test_record_and_replay_all():
+    log = GroupLog(10)
+    for ts in (5, 9, 12):
+        log.record_invocation(invocation(ts))
+    assert len(log) == 3
+    assert [m.timestamp for m in log.replay_after(0)] == [5, 9, 12]
+
+
+def test_replay_after_is_strictly_greater():
+    log = GroupLog(10)
+    for ts in (5, 9, 12):
+        log.record_invocation(invocation(ts))
+    assert [m.timestamp for m in log.replay_after(9)] == [12]
+
+
+def test_checkpoint_truncates_covered_prefix():
+    log = GroupLog(10)
+    for ts in (5, 9, 12, 20):
+        log.record_invocation(invocation(ts))
+    log.install_checkpoint({"count": 2}, ts=12)
+    assert len(log) == 1
+    assert log.latest_covered_ts() == 12
+    assert [m.timestamp for m in log.replay_after(log.latest_covered_ts())] == [20]
+
+
+def test_stale_checkpoint_ignored():
+    log = GroupLog(10)
+    log.install_checkpoint({"count": 5}, ts=100)
+    log.install_checkpoint({"count": 1}, ts=50)  # older: a replayed message
+    assert log.checkpoint.state == {"count": 5}
+    assert log.latest_covered_ts() == 100
+
+
+def test_ops_since_checkpoint_counter():
+    log = GroupLog(10)
+    for ts in (1, 2, 3):
+        log.record_invocation(invocation(ts))
+    assert log.ops_since_checkpoint == 3
+    log.install_checkpoint({}, ts=3)
+    assert log.ops_since_checkpoint == 0
+    log.record_invocation(invocation(4))
+    assert log.ops_since_checkpoint == 1
+
+
+def test_no_checkpoint_means_cover_ts_zero():
+    log = GroupLog(10)
+    assert log.latest_covered_ts() == 0
+    assert log.checkpoint is None

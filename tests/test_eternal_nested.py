@@ -1,0 +1,172 @@
+"""Integration tests: nested invocations and Figure 6 identifiers."""
+
+import pytest
+
+from repro import NestedCall, ReplicationStyle, Servant, World
+from repro.apps import (
+    ACCOUNT_INTERFACE,
+    AccountServant,
+    LEDGER_INTERFACE,
+    LedgerServant,
+    TRANSFER_INTERFACE,
+    TransferAgentServant,
+)
+from repro.errors import InvocationFailure
+from repro.iiop import TC_LONG, TC_STRING
+from repro.orb import Interface, Operation, Param
+
+from tests.helpers import make_domain
+
+
+def make_bank(world, num_hosts=4, style=ReplicationStyle.ACTIVE):
+    domain = make_domain(world, num_hosts=num_hosts)
+    accounts = domain.create_group("Accounts", ACCOUNT_INTERFACE,
+                                   AccountServant, style=style)
+    ledger = domain.create_group("Ledger", LEDGER_INTERFACE, LedgerServant,
+                                 style=style)
+    agent = domain.create_group("Transfers", TRANSFER_INTERFACE,
+                                TransferAgentServant, style=style)
+    return domain, accounts, ledger, agent
+
+
+def ledger_entries(domain, ledger):
+    for rm in domain.rms.values():
+        record = rm.replicas.get(ledger.group_id)
+        if record is not None:
+            return list(record.servant.log)
+    return []
+
+
+def test_transfer_chains_three_nested_calls(world):
+    domain, accounts, ledger, agent = make_bank(world)
+    world.await_promise(accounts.invoke("deposit", "alice", 100))
+    result = world.await_promise(agent.invoke("transfer", "alice", "bob", 40))
+    assert result == 40  # bob's new balance
+    assert world.await_promise(accounts.invoke("balance", "alice")) == 60
+    assert world.await_promise(ledger.invoke("entries")) == 1
+
+
+def test_nested_calls_execute_exactly_once_despite_replication(world):
+    """Three TransferAgent replicas each issue the nested calls; the
+    Figure 6 operation identifiers make the targets execute them once."""
+    domain, accounts, ledger, agent = make_bank(world)
+    world.await_promise(accounts.invoke("deposit", "alice", 100))
+    world.await_promise(agent.invoke("transfer", "alice", "bob", 10))
+    world.run(until=world.now + 0.2)
+    assert ledger_entries(domain, ledger) == ["alice->bob:10"]
+    # Every accounts replica applied the withdraw+deposit exactly once.
+    for rm in domain.rms.values():
+        record = rm.replicas.get(accounts.group_id)
+        if record is not None:
+            assert record.servant.balances == {"alice": 90, "bob": 10}
+
+
+def test_sequential_transfers_keep_books_balanced(world):
+    domain, accounts, ledger, agent = make_bank(world)
+    world.await_promise(accounts.invoke("deposit", "alice", 1000))
+    for i in range(5):
+        world.await_promise(agent.invoke("transfer", "alice", "bob", 100))
+    assert world.await_promise(accounts.invoke("balance", "alice")) == 500
+    assert world.await_promise(accounts.invoke("balance", "bob")) == 500
+    assert world.await_promise(ledger.invoke("entries")) == 5
+
+
+def test_nested_user_exception_propagates_to_parent(world):
+    domain, accounts, ledger, agent = make_bank(world)
+    # alice has no funds: the nested withdraw raises InsufficientFunds,
+    # which surfaces through the transfer generator to the caller.
+    with pytest.raises(InvocationFailure) as excinfo:
+        world.await_promise(agent.invoke("transfer", "alice", "bob", 40))
+    assert "InsufficientFunds" in excinfo.value.repo_id
+    # No partial effects: the deposit and ledger record never ran.
+    assert world.await_promise(accounts.invoke("balance", "bob")) == 0
+    assert world.await_promise(ledger.invoke("entries")) == 0
+
+
+def test_servant_can_catch_nested_exception(world):
+    CAREFUL = Interface("Careful", [
+        Operation("try_transfer", [Param("amount", TC_LONG)], TC_STRING),
+    ])
+
+    class CarefulServant(Servant):
+        interface = CAREFUL
+
+        def try_transfer(self, amount):
+            try:
+                yield NestedCall("Accounts", "withdraw", ["nobody", amount])
+            except InvocationFailure:
+                return "declined"
+            return "ok"
+
+    domain, accounts, ledger, agent = make_bank(world)
+    careful = domain.create_group("Careful", CAREFUL, CarefulServant)
+    assert world.await_promise(careful.invoke("try_transfer", 5)) == "declined"
+
+
+def test_nested_chain_two_levels_deep(world):
+    """Parent -> TransferAgent -> Accounts/Ledger: identifiers stay
+    unique through multi-level nesting."""
+    OUTER = Interface("Outer", [
+        Operation("run", [], TC_LONG),
+    ])
+
+    class OuterServant(Servant):
+        interface = OUTER
+
+        def run(self):
+            yield NestedCall("Accounts", "deposit", ["carol", 50])
+            result = yield NestedCall("Transfers", "transfer",
+                                      ["carol", "dave", 20])
+            return result
+
+    domain, accounts, ledger, agent = make_bank(world)
+    outer = domain.create_group("Outer", OUTER, OuterServant)
+    assert world.await_promise(outer.invoke("run"), timeout=60) == 20
+    assert world.await_promise(accounts.invoke("balance", "carol")) == 30
+    assert world.await_promise(accounts.invoke("balance", "dave")) == 20
+
+
+def test_unknown_nested_target_raises_in_parent(world):
+    BROKEN = Interface("Broken", [Operation("go", [], TC_LONG)])
+
+    class BrokenServant(Servant):
+        interface = BROKEN
+
+        def go(self):
+            result = yield NestedCall("NoSuchGroup", "op", [])
+            return result
+
+    domain = make_domain(world)
+    broken = domain.create_group("Broken", BROKEN, BrokenServant)
+    with pytest.raises(Exception):
+        world.await_promise(broken.invoke("go"))
+
+
+def test_operation_identifiers_derived_from_parent_timestamp(world):
+    """Inspect the dedup tables: nested invocations carry op ids whose
+    parent_ts equals the parent invocation's delivery timestamp and
+    whose child_seq counts 1, 2, 3 (Figure 6)."""
+    domain, accounts, ledger, agent = make_bank(world)
+    world.await_promise(accounts.invoke("deposit", "alice", 100))
+    world.await_promise(agent.invoke("transfer", "alice", "bob", 10))
+    world.run(until=world.now + 0.2)
+    rm = next(rm for rm in domain.rms.values()
+              if accounts.group_id in rm.replicas)
+    seen = rm._invocations_seen[accounts.group_id]
+    nested_ops = [op for (src, client, op) in seen
+                  if src == agent.group_id]
+    assert len(nested_ops) == 2  # withdraw + deposit
+    parents = {op.parent_ts for op in nested_ops}
+    assert len(parents) == 1 and parents.pop() > 0
+    assert sorted(op.child_seq for op in nested_ops) == [1, 2]
+
+
+def test_transfer_agent_survives_replica_crash_mid_stream(world):
+    domain, accounts, ledger, agent = make_bank(world, num_hosts=5)
+    world.await_promise(accounts.invoke("deposit", "alice", 1000))
+    world.await_promise(agent.invoke("transfer", "alice", "bob", 100))
+    victim = agent.info().placement[0]
+    world.faults.crash_now(victim)
+    world.await_promise(agent.invoke("transfer", "alice", "bob", 100))
+    assert world.await_promise(accounts.invoke("balance", "bob")) == 200
+    assert world.await_promise(ledger.invoke("entries")) == 2

@@ -1,0 +1,27 @@
+"""Smoke-run every example script so the examples can never rot.
+
+Each example is executed in-process (runpy) with stdout captured; a
+non-zero amount of output and no exception is the pass criterion.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_cleanly(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{script.name} produced no output"
+
+
+def test_module_entry_point(capsys):
+    from repro.__main__ import main
+    assert main() == 0
+    assert "replica agreement: OK" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""Tests for graceful gateway shutdown (drain)."""
+
+import pytest
+
+from repro import CommFailure, World
+
+from tests.helpers import external_client, make_counter_group, make_domain
+
+
+def test_drain_serves_in_flight_requests_before_stopping(world):
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    _, stub, _ = external_client(world, domain, group)
+    world.await_promise(stub.call("increment", 1))
+    promise = stub.call("increment", 10)
+    drained = gateway.drain()
+    # The in-flight request completes...
+    assert world.await_promise(promise, timeout=600) == 11
+    # ...and only then does the gateway stop.
+    world.await_promise(drained, timeout=600)
+    assert not gateway.alive
+
+
+def test_drained_gateway_refuses_new_connections(world):
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    world.await_promise(gateway.drain(), timeout=600)
+    host = world.add_host("late-client")
+    state = {}
+    world.tcp.connect(host, (gateway.host.name, gateway.port),
+                      lambda ep: state.setdefault("ok", ep),
+                      lambda exc: state.setdefault("err", exc))
+    world.scheduler.run_until(lambda: state)
+    assert isinstance(state["err"], CommFailure)
+
+
+def test_drain_with_redundant_gateway_is_invisible_to_enhanced_clients(world):
+    domain = make_domain(world, gateways=2)
+    group = make_counter_group(domain)
+    _, stub, layer = external_client(world, domain, group, enhanced=True)
+    assert world.await_promise(stub.call("increment", 1)) == 1
+    world.await_promise(domain.gateways[0].drain(), timeout=600)
+    # The next invocation fails over to the second gateway and succeeds.
+    assert world.await_promise(stub.call("increment", 1), timeout=600) == 2
+    assert layer.failover_log
+
+
+def test_drain_idle_gateway_stops_immediately(world):
+    domain = make_domain(world, gateways=1)
+    gateway = domain.gateways[0]
+    world.await_promise(gateway.drain(), timeout=60)
+    assert not gateway.alive

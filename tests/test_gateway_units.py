@@ -1,0 +1,136 @@
+"""Unit-level tests of gateway internals (bookkeeping, not scenarios)."""
+
+import pytest
+
+from repro import ReplicationStyle, World
+from repro.core import UNUSED_CLIENT_ID
+from repro.core.identifiers import external_operation_id
+from repro.eternal.messages import DomainMessage, MsgKind
+from repro.eternal.naming import GATEWAY_GROUP
+
+from tests.helpers import external_client, make_counter_group, make_domain
+
+
+def test_votes_for_plain_group_is_one(world):
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    domain.await_ready(group)
+    gateway = domain.gateways[0]
+    assert gateway._votes_for(group.info()) == 1
+
+
+def test_votes_for_voting_group_is_majority(world):
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain,
+                               style=ReplicationStyle.ACTIVE_WITH_VOTING,
+                               replicas=3)
+    domain.await_ready(group)
+    gateway = domain.gateways[0]
+    assert gateway._votes_for(group.info()) == 2
+
+
+def test_votes_shrink_with_live_replicas(world):
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain,
+                               style=ReplicationStyle.ACTIVE_WITH_VOTING,
+                               replicas=3, min_replicas=1)
+    domain.await_ready(group)
+    world.faults.crash_now(group.info().placement[0])
+    world.run(until=world.now + 0.5)
+    gateway = domain.gateways[0]
+    info = gateway.rm.registry.get(group.group_id)
+    assert gateway._votes_for(info) == 2  # 2 live -> majority still 2
+
+
+def test_connection_keeps_its_client_id_across_requests(world):
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    _, stub, _ = external_client(world, domain, group, enhanced=False)
+    world.await_promise(stub.call("increment", 1))
+    world.await_promise(stub.call("increment", 1))
+    ids = set(gateway._conn_ids.values())
+    assert len(ids) == 1  # one connection, one id, however many requests
+
+
+def test_live_gateway_hosts_falls_back_to_self(world):
+    domain = make_domain(world, gateways=1)
+    gateway = domain.gateways[0]
+    # Before the gateway-group announce is applied, fall back to self.
+    gateway.rm.registry.remove(GATEWAY_GROUP)
+    assert gateway._live_gateway_hosts() == [gateway.host.name]
+
+
+def test_forwarded_flag_set_when_invocation_observed(world):
+    domain = make_domain(world, gateways=2)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    peer = domain.gateways[1]
+    _, stub, _ = external_client(world, domain, group, enhanced=True)
+    world.await_promise(stub.call("increment", 1))
+    world.run(until=world.now + 0.5)
+    # The peer recorded the mirror and saw the forward in the total
+    # order, so its copy is marked forwarded (no takeover needed).
+    mirrored = [p for p in peer._pending.values()]
+    assert all(p.forwarded for p in mirrored) or not mirrored
+
+
+def test_unused_client_id_responses_never_reach_gateway_routing(world):
+    """Intra-domain responses (UNUSED client id) target application
+    groups, not the gateway group; the gateway must stay silent."""
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    # Driver-originated invocation: responses go to EXTERNAL, not gateway.
+    world.await_promise(group.invoke("increment", 1))
+    world.run(until=world.now + 0.5)
+    assert gateway.stats["responses_delivered"] == 0
+    assert gateway.stats["responses_unexpected"] == 0
+
+
+def test_gateway_index_partitions_counter_space(world):
+    domain = make_domain(world, gateways=2)
+    a, b = domain.gateways
+    assert a.index != b.index
+    # Counter ids from different gateways can never collide.
+    id_a = a.index * 1_000_000 + 1
+    id_b = b.index * 1_000_000 + 1
+    assert id_a != id_b
+
+
+def test_purge_client_clears_all_tables(world):
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    _, stub, layer = external_client(world, domain, group, enhanced=True)
+    world.await_promise(stub.call("increment", 1))
+    world.run(until=world.now + 0.2)
+    client_id = f"{layer.client_uid}#1"
+    assert client_id in gateway._routing
+    gateway._purge_client(client_id)
+    assert client_id not in gateway._routing
+    assert not any(k[0] == client_id for k in gateway._pending)
+    assert not any(k[0] == client_id for k in gateway._cache)
+
+
+def test_observe_delivered_ignores_unrelated_kinds(world):
+    domain = make_domain(world, gateways=1)
+    gateway = domain.gateways[0]
+    before = dict(gateway.stats)
+    gateway.observe_delivered(DomainMessage(
+        kind=MsgKind.STATE_UPDATE, source_group=10, target_group=10,
+        data={"state": {}, "upto_ts": 1}))
+    assert gateway.stats == before
+
+
+def test_stopping_gateway_closes_listener(world):
+    domain = make_domain(world, gateways=1)
+    gateway = domain.gateways[0]
+    gateway.stop()
+    state = {}
+    host = world.add_host("probe")
+    world.tcp.connect(host, (gateway.host.name, gateway.port),
+                      lambda ep: state.setdefault("ok", ep),
+                      lambda exc: state.setdefault("err", exc))
+    world.scheduler.run_until(lambda: state)
+    assert "err" in state

@@ -1,0 +1,161 @@
+"""Tests for GIOP message encode/decode and incremental framing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MarshalError
+from repro.iiop import (
+    GIOP_HEADER_SIZE,
+    GiopFramer,
+    MsgType,
+    ReplyMessage,
+    ReplyStatus,
+    RequestMessage,
+    ServiceContext,
+    decode_reply,
+    decode_request,
+    encode_close_connection,
+    encode_reply,
+    encode_request,
+    parse_header,
+)
+
+
+def sample_request(**overrides):
+    fields = dict(
+        request_id=42,
+        response_expected=True,
+        object_key=b"group:7",
+        operation="buy_shares",
+        service_contexts=[ServiceContext(0x45540001, b"\x00ctx")],
+        principal=b"user",
+        body=b"\x01\x02\x03\x04\x05",
+    )
+    fields.update(overrides)
+    return RequestMessage(**fields)
+
+
+def test_request_roundtrip():
+    msg = sample_request()
+    encoded = encode_request(msg)
+    decoded = decode_request(encoded)
+    assert decoded.request_id == 42
+    assert decoded.response_expected is True
+    assert decoded.object_key == b"group:7"
+    assert decoded.operation == "buy_shares"
+    assert decoded.principal == b"user"
+    assert decoded.body == msg.body
+    assert decoded.service_contexts[0].context_id == 0x45540001
+    assert decoded.service_contexts[0].data == b"\x00ctx"
+
+
+def test_request_roundtrip_little_endian():
+    msg = sample_request()
+    decoded = decode_request(encode_request(msg, little_endian=True))
+    assert decoded.operation == "buy_shares"
+    assert decoded.request_id == 42
+
+
+def test_reply_roundtrip():
+    msg = ReplyMessage(request_id=42, status=ReplyStatus.NO_EXCEPTION,
+                       body=b"payload")
+    decoded = decode_reply(encode_reply(msg))
+    assert decoded.request_id == 42
+    assert decoded.status == ReplyStatus.NO_EXCEPTION
+    assert decoded.body == b"payload"
+
+
+def test_header_parse():
+    encoded = encode_request(sample_request())
+    message_type, little_endian, size = parse_header(encoded)
+    assert message_type == MsgType.REQUEST
+    assert little_endian is False
+    assert size == len(encoded) - GIOP_HEADER_SIZE
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(MarshalError):
+        parse_header(b"IIOP" + b"\x00" * 8)
+
+
+def test_decode_request_on_reply_raises():
+    reply = encode_reply(ReplyMessage(request_id=1, status=0))
+    with pytest.raises(MarshalError):
+        decode_request(reply)
+
+
+def test_close_connection_is_header_only():
+    data = encode_close_connection()
+    message_type, _, size = parse_header(data)
+    assert message_type == MsgType.CLOSE_CONNECTION
+    assert size == 0
+    assert len(data) == GIOP_HEADER_SIZE
+
+
+def test_find_context():
+    msg = sample_request()
+    assert msg.find_context(0x45540001) == b"\x00ctx"
+    assert msg.find_context(0xDEAD) is None
+
+
+def test_framer_whole_message():
+    encoded = encode_request(sample_request())
+    framer = GiopFramer()
+    messages = framer.feed(encoded)
+    assert messages == [encoded]
+    assert framer.buffered == 0
+
+
+def test_framer_byte_at_a_time():
+    encoded = encode_request(sample_request())
+    framer = GiopFramer()
+    collected = []
+    for i in range(len(encoded)):
+        collected.extend(framer.feed(encoded[i:i + 1]))
+    assert collected == [encoded]
+
+
+def test_framer_coalesced_messages():
+    first = encode_request(sample_request(request_id=1))
+    second = encode_request(sample_request(request_id=2, operation="sell"))
+    third = encode_reply(ReplyMessage(request_id=1, status=0, body=b"ok"))
+    framer = GiopFramer()
+    messages = framer.feed(first + second + third)
+    assert messages == [first, second, third]
+
+
+def test_framer_split_across_header_boundary():
+    encoded = encode_request(sample_request())
+    framer = GiopFramer()
+    assert framer.feed(encoded[:5]) == []
+    assert framer.feed(encoded[5:20]) == []
+    assert framer.feed(encoded[20:]) == [encoded]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1,
+                max_size=8),
+       st.integers(min_value=1, max_value=64))
+def test_framer_random_segmentation_property(request_ids, chunk_size):
+    """Any segmentation of any message train reframes identically."""
+    stream = b"".join(
+        encode_request(sample_request(request_id=rid)) for rid in request_ids
+    )
+    framer = GiopFramer()
+    collected = []
+    for i in range(0, len(stream), chunk_size):
+        collected.extend(framer.feed(stream[i:i + chunk_size]))
+    assert [decode_request(m).request_id for m in collected] == request_ids
+
+
+def test_empty_body_request_roundtrip():
+    msg = sample_request(body=b"", service_contexts=[], principal=b"")
+    decoded = decode_request(encode_request(msg))
+    assert decoded.body == b""
+    assert decoded.service_contexts == []
+
+
+def test_large_body_roundtrip():
+    msg = sample_request(body=bytes(range(256)) * 64)
+    decoded = decode_request(encode_request(msg))
+    assert decoded.body == msg.body

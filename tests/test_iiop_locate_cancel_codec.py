@@ -1,0 +1,71 @@
+"""Codec tests for LocateRequest/LocateReply/CancelRequest messages."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MarshalError
+from repro.iiop import (
+    GiopFramer,
+    LocateStatus,
+    MsgType,
+    decode_cancel_request,
+    decode_locate_reply,
+    decode_locate_request,
+    encode_cancel_request,
+    encode_locate_reply,
+    encode_locate_request,
+    parse_header,
+)
+
+
+def test_locate_request_roundtrip():
+    encoded = encode_locate_request(12, b"ftdomain/d/10")
+    assert parse_header(encoded)[0] == MsgType.LOCATE_REQUEST
+    assert decode_locate_request(encoded) == (12, b"ftdomain/d/10")
+
+
+def test_locate_reply_roundtrip():
+    encoded = encode_locate_reply(12, LocateStatus.OBJECT_HERE)
+    assert parse_header(encoded)[0] == MsgType.LOCATE_REPLY
+    assert decode_locate_reply(encoded) == (12, LocateStatus.OBJECT_HERE)
+
+
+def test_cancel_request_roundtrip():
+    encoded = encode_cancel_request(77)
+    assert parse_header(encoded)[0] == MsgType.CANCEL_REQUEST
+    assert decode_cancel_request(encoded) == 77
+
+
+def test_wrong_type_rejected():
+    locate = encode_locate_request(1, b"k")
+    with pytest.raises(MarshalError):
+        decode_cancel_request(locate)
+    with pytest.raises(MarshalError):
+        decode_locate_reply(locate)
+    cancel = encode_cancel_request(1)
+    with pytest.raises(MarshalError):
+        decode_locate_request(cancel)
+
+
+def test_little_endian_variants():
+    encoded = encode_locate_request(9, b"key", little_endian=True)
+    assert decode_locate_request(encoded) == (9, b"key")
+    encoded = encode_cancel_request(9, little_endian=True)
+    assert decode_cancel_request(encoded) == 9
+
+
+def test_framer_handles_mixed_message_train():
+    train = (encode_locate_request(1, b"k")
+             + encode_cancel_request(2)
+             + encode_locate_reply(1, LocateStatus.UNKNOWN_OBJECT))
+    framer = GiopFramer()
+    messages = framer.feed(train)
+    assert [parse_header(m)[0] for m in messages] == [
+        MsgType.LOCATE_REQUEST, MsgType.CANCEL_REQUEST, MsgType.LOCATE_REPLY]
+
+
+@given(st.integers(0, 2**32 - 1), st.binary(min_size=0, max_size=64))
+def test_locate_request_roundtrip_property(request_id, key):
+    assert decode_locate_request(
+        encode_locate_request(request_id, key)) == (request_id, key)

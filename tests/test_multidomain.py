@@ -1,0 +1,138 @@
+"""Integration tests: multiple fault tolerance domains (paper Figure 1)."""
+
+import pytest
+
+from repro import FtClientLayer, Orb, ReplicationStyle, World
+from repro.apps import (
+    QUOTE_INTERFACE,
+    QuoteServant,
+    SETTLEMENT_INTERFACE,
+    SettlementServant,
+    TRADING_INTERFACE,
+    TradingDeskServant,
+)
+from repro.sim import LatencyModel
+
+
+def build_two_domains(world, la_gateways=1, ny_gateways=1):
+    """New York (trading) + Los Angeles (settlement), as in Figure 1."""
+    la = None
+    from repro import FaultToleranceDomain
+    la = FaultToleranceDomain(world, "la", num_hosts=3)
+    for _ in range(la_gateways):
+        la.add_gateway(port=2809)
+    settlement = la.create_group("Settlement", SETTLEMENT_INTERFACE,
+                                 SettlementServant,
+                                 style=ReplicationStyle.ACTIVE)
+    la.await_stable()
+    la.await_ready(settlement)
+    settlement_ior = la.ior_for(settlement).to_string()
+
+    ny = FaultToleranceDomain(world, "ny", num_hosts=3)
+    for _ in range(ny_gateways):
+        ny.add_gateway(port=2809)
+    ny.register_interface(SETTLEMENT_INTERFACE)
+    quotes = ny.create_group("Quotes", QUOTE_INTERFACE,
+                             lambda: QuoteServant({"ACME": 1500, "INITECH": 300}),
+                             style=ReplicationStyle.ACTIVE)
+    desk = ny.create_group(
+        "Desk", TRADING_INTERFACE,
+        lambda: TradingDeskServant(quote_group="Quotes",
+                                   settlement_target=settlement_ior,
+                                   settlement_interface="Settlement"),
+        style=ReplicationStyle.ACTIVE)
+    ny.await_stable()
+    return la, ny, settlement, quotes, desk
+
+
+def sb_customer(world, ny, desk):
+    browser = world.add_host("sb-browser")
+    orb = Orb(world, browser, request_timeout=None)
+    layer = FtClientLayer(orb)
+    stub = layer.string_to_object(ny.ior_for(desk).to_string(),
+                                  TRADING_INTERFACE)
+    return stub, layer
+
+
+def test_customer_order_crosses_both_domains(world):
+    la, ny, settlement, quotes, desk = build_two_domains(world)
+    stub, _ = sb_customer(world, ny, desk)
+    assert world.await_promise(stub.call("buy", "alice", "ACME", 100),
+                               timeout=600) == 100
+    assert world.await_promise(la.invoke(settlement, "settled_count", []),
+                               timeout=240) == 1
+
+
+def test_settlement_executes_exactly_once_despite_desk_replication(world):
+    """Three desk replicas each reach out to LA; the LA gateway's
+    duplicate detection admits one settlement."""
+    la, ny, settlement, quotes, desk = build_two_domains(world)
+    stub, _ = sb_customer(world, ny, desk)
+    world.await_promise(stub.call("buy", "alice", "ACME", 10), timeout=600)
+    world.await_promise(stub.call("buy", "alice", "INITECH", 5), timeout=600)
+    world.run(until=world.now + 1.0)
+    for rm in la.rms.values():
+        record = rm.replicas.get(settlement.group_id)
+        if record is not None:
+            assert record.servant.settled_count() == 2
+
+
+def test_desk_replicas_agree_on_positions(world):
+    la, ny, settlement, quotes, desk = build_two_domains(world)
+    stub, _ = sb_customer(world, ny, desk)
+    world.await_promise(stub.call("buy", "alice", "ACME", 100), timeout=600)
+    world.await_promise(stub.call("sell", "alice", "ACME", 30), timeout=600)
+    positions = set()
+    for rm in ny.rms.values():
+        record = rm.replicas.get(desk.group_id)
+        if record is not None:
+            positions.add(record.servant.positions["alice:ACME"])
+    assert positions == {70}
+
+
+def test_egress_failover_when_ny_primary_host_crashes(world):
+    """The desk group's egress host dies mid-operation; another replica
+    host takes over the outstanding cross-domain call and LA's dedup
+    keeps settlement exactly-once."""
+    la, ny, settlement, quotes, desk = build_two_domains(world)
+    stub, _ = sb_customer(world, ny, desk)
+    world.await_promise(stub.call("buy", "alice", "ACME", 1), timeout=600)
+
+    egress_host = desk.info().primary(ny.coordinator_rm().live_hosts)
+    promise = stub.call("buy", "alice", "ACME", 2)
+    # Crash the egress host once the parent invocation is in flight.
+    world.scheduler.call_after(0.06, lambda: world.faults.crash_now(egress_host))
+    assert world.await_promise(promise, timeout=600) == 3
+    world.run(until=world.now + 1.0)
+    counts = set()
+    for rm in la.rms.values():
+        record = rm.replicas.get(settlement.group_id)
+        if record is not None:
+            counts.add(record.servant.settled_count())
+    assert counts == {2}
+
+
+def test_la_gateway_crash_survived_by_redundant_gateway(world):
+    la, ny, settlement, quotes, desk = build_two_domains(world, la_gateways=2)
+    stub, _ = sb_customer(world, ny, desk)
+    world.await_promise(stub.call("buy", "alice", "ACME", 1), timeout=600)
+    world.faults.crash_now(la.gateways[0].host.name)
+    assert world.await_promise(stub.call("buy", "alice", "ACME", 2),
+                               timeout=600) == 3
+    assert world.await_promise(la.invoke(settlement, "settled_count", []),
+                               timeout=240) == 2
+
+
+def test_wide_area_latency_separates_domains(world):
+    """Figure 1's wide-area separation: intra-domain traffic is LAN-fast,
+    cross-domain operations pay WAN latency."""
+    la, ny, settlement, quotes, desk = build_two_domains(world)
+    stub, _ = sb_customer(world, ny, desk)
+    t0 = world.now
+    world.await_promise(stub.call("position", "alice", "ACME"), timeout=600)
+    local_elapsed = world.now - t0
+    t0 = world.now
+    world.await_promise(stub.call("buy", "alice", "ACME", 1), timeout=600)
+    cross_elapsed = world.now - t0
+    # A buy crosses to LA and back: at least one extra WAN round trip.
+    assert cross_elapsed > local_elapsed + 0.06

@@ -1,0 +1,52 @@
+"""Tests for object-key naming within fault tolerance domains."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import MarshalError
+from repro.eternal import make_object_key, parse_object_key
+from repro.eternal.naming import (
+    EXTERNAL_GROUP,
+    FIRST_APPLICATION_GROUP,
+    GATEWAY_GROUP,
+    REPLICATION_MANAGER_GROUP,
+)
+
+
+def test_roundtrip():
+    key = make_object_key("trading", 42)
+    assert parse_object_key(key) == ("trading", 42)
+
+
+def test_key_is_readable_ascii():
+    assert make_object_key("ny", 10) == b"ftdomain/ny/10"
+
+
+def test_domain_with_slash_rejected():
+    with pytest.raises(MarshalError):
+        make_object_key("a/b", 1)
+
+
+def test_foreign_key_returns_none():
+    assert parse_object_key(b"some-orb-specific-key") is None
+    assert parse_object_key(b"obj/Counter/1") is None
+
+
+def test_malformed_keys_return_none():
+    assert parse_object_key(b"ftdomain/only-two") is None
+    assert parse_object_key(b"ftdomain/d/not-a-number") is None
+    assert parse_object_key(b"ftdomain/d/1/extra") is None
+    assert parse_object_key(b"\xff\xfe") is None
+
+
+def test_reserved_group_ids_are_distinct_and_below_application_range():
+    reserved = {EXTERNAL_GROUP, GATEWAY_GROUP, REPLICATION_MANAGER_GROUP}
+    assert len(reserved) == 3
+    assert all(g < FIRST_APPLICATION_GROUP for g in reserved)
+
+
+@given(st.from_regex(r"[a-z][a-z0-9\-]{0,30}", fullmatch=True),
+       st.integers(min_value=0, max_value=2**31 - 1))
+def test_roundtrip_property(domain, group_id):
+    assert parse_object_key(make_object_key(domain, group_id)) == (domain, group_id)

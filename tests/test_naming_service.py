@@ -1,0 +1,110 @@
+"""Tests for the replicated Naming Service and domain auto-binding."""
+
+import pytest
+
+from repro import FtClientLayer, Orb, World
+from repro.apps import COUNTER_INTERFACE, CounterServant, NAMING_INTERFACE
+from repro.errors import InvocationFailure
+
+from tests.helpers import external_client, make_counter_group, make_domain
+
+
+def naming_stub(world, domain, host_name="resolver"):
+    host = world.add_host(host_name)
+    orb = Orb(world, host, request_timeout=None)
+    layer = FtClientLayer(orb)
+    naming = domain.resolve("EternalNaming")
+    return layer.string_to_object(domain.ior_for(naming).to_string(),
+                                  NAMING_INTERFACE), orb, layer
+
+
+def test_bind_resolve_unbind_cycle(world):
+    domain = make_domain(world, gateways=1)
+    domain.enable_naming()
+    stub, _, _ = naming_stub(world, domain)
+    world.await_promise(stub.call("bind", "svc", "IOR:abcd"), timeout=600)
+    assert world.await_promise(stub.call("resolve", "svc"),
+                               timeout=600) == "IOR:abcd"
+    world.await_promise(stub.call("unbind", "svc"), timeout=600)
+    with pytest.raises(InvocationFailure):
+        world.await_promise(stub.call("resolve", "svc"), timeout=600)
+
+
+def test_bind_twice_raises_already_bound(world):
+    domain = make_domain(world, gateways=1)
+    domain.enable_naming()
+    stub, _, _ = naming_stub(world, domain)
+    world.await_promise(stub.call("bind", "x", "IOR:1"), timeout=600)
+    with pytest.raises(InvocationFailure) as excinfo:
+        world.await_promise(stub.call("bind", "x", "IOR:2"), timeout=600)
+    assert "AlreadyBound" in excinfo.value.repo_id
+    # rebind overwrites without complaint.
+    world.await_promise(stub.call("rebind", "x", "IOR:2"), timeout=600)
+    assert world.await_promise(stub.call("resolve", "x"),
+                               timeout=600) == "IOR:2"
+
+
+def test_list_names_travels_as_corba_sequence(world):
+    domain = make_domain(world, gateways=1)
+    domain.enable_naming()
+    stub, _, _ = naming_stub(world, domain)
+    for name in ("zeta", "alpha", "midd"):
+        world.await_promise(stub.call("bind", name, f"IOR:{name}"),
+                            timeout=600)
+    names = world.await_promise(stub.call("list_names"), timeout=600)
+    assert names == ["alpha", "midd", "zeta"]  # sorted, full round trip
+
+
+def test_groups_auto_bound_after_enable(world):
+    domain = make_domain(world, gateways=1)
+    domain.enable_naming()
+    make_counter_group(domain)
+    stub, orb, layer = naming_stub(world, domain)
+    ior_string = world.await_promise(stub.call("resolve", "Counter"),
+                                     timeout=600)
+    # Full bootstrap: resolve by name, then invoke the resolved object.
+    counter = layer.string_to_object(ior_string, COUNTER_INTERFACE)
+    assert world.await_promise(counter.call("increment", 9), timeout=600) == 9
+
+
+def test_groups_created_before_enable_are_bound_retroactively(world):
+    domain = make_domain(world, gateways=1)
+    make_counter_group(domain)          # created BEFORE naming exists
+    domain.enable_naming()
+    stub, _, layer = naming_stub(world, domain)
+    ior_string = world.await_promise(stub.call("resolve", "Counter"),
+                                     timeout=600)
+    assert ior_string.startswith("IOR:")
+
+
+def test_naming_replicas_are_consistent(world):
+    domain = make_domain(world, gateways=1)
+    naming = domain.enable_naming()
+    stub, _, _ = naming_stub(world, domain)
+    world.await_promise(stub.call("bind", "a", "IOR:a"), timeout=600)
+    world.run(until=world.now + 0.5)
+    snapshots = set()
+    for rm in domain.rms.values():
+        record = rm.replicas.get(naming.group_id)
+        if record is not None:
+            snapshots.add(tuple(sorted(record.servant.bindings.items())))
+    assert len(snapshots) == 1
+
+
+def test_naming_survives_replica_crash(world):
+    domain = make_domain(world, num_hosts=4, gateways=1)
+    naming = domain.enable_naming()
+    stub, _, _ = naming_stub(world, domain)
+    world.await_promise(stub.call("bind", "persistent", "IOR:p"),
+                        timeout=600)
+    domain.await_ready(naming)
+    world.faults.crash_now(naming.info().placement[0])
+    assert world.await_promise(stub.call("resolve", "persistent"),
+                               timeout=600) == "IOR:p"
+
+
+def test_enable_naming_is_idempotent(world):
+    domain = make_domain(world, gateways=1)
+    first = domain.enable_naming()
+    second = domain.enable_naming()
+    assert first is second

@@ -1,0 +1,149 @@
+"""Unit tests for the shared marshalling-level dispatch helpers."""
+
+import pytest
+
+from repro.errors import (
+    BadOperation,
+    CorbaSystemException,
+    InvocationFailure,
+    MarshalError,
+    ObjectNotExist,
+)
+from repro.iiop import (
+    ReplyStatus,
+    RequestMessage,
+    TC_LONG,
+    TC_STRING,
+    decode_reply,
+)
+from repro.orb import (
+    Interface,
+    Operation,
+    Param,
+    Servant,
+    decode_arguments,
+    decode_result,
+    encode_arguments,
+    reply_for_exception,
+    reply_for_result,
+    run_to_completion,
+    start_invocation,
+)
+from repro.orb.servant import NestedCall
+
+ECHO = Interface("Echo", [
+    Operation("echo", [Param("text", TC_STRING)], TC_STRING),
+    Operation("add", [Param("a", TC_LONG), Param("b", TC_LONG)], TC_LONG),
+    Operation("nested", [], TC_LONG),
+])
+
+
+class EchoServant(Servant):
+    interface = ECHO
+
+    def echo(self, text):
+        return text
+
+    def add(self, a, b):
+        return a + b
+
+    def nested(self):
+        result = yield NestedCall("Other", "op", [])
+        return result
+
+
+def request_for(op_name, args):
+    op = ECHO.operation(op_name)
+    return RequestMessage(request_id=9, response_expected=True,
+                          object_key=b"k", operation=op_name,
+                          body=encode_arguments(op, args))
+
+
+def test_argument_roundtrip():
+    op = ECHO.operation("add")
+    body = encode_arguments(op, [4, 5])
+    request = RequestMessage(request_id=1, response_expected=True,
+                             object_key=b"k", operation="add", body=body)
+    assert decode_arguments(op, request) == [4, 5]
+
+
+def test_reply_for_result_roundtrip():
+    op = ECHO.operation("echo")
+    encoded = reply_for_result(9, op, "hello")
+    reply = decode_reply(encoded)
+    assert reply.request_id == 9
+    assert reply.status == ReplyStatus.NO_EXCEPTION
+    assert decode_result(op, reply) == "hello"
+
+
+def test_reply_for_user_exception_roundtrip():
+    op = ECHO.operation("echo")
+    encoded = reply_for_exception(9, InvocationFailure("IDL:X:1.0", "det"))
+    reply = decode_reply(encoded)
+    assert reply.status == ReplyStatus.USER_EXCEPTION
+    with pytest.raises(InvocationFailure) as excinfo:
+        decode_result(op, reply)
+    assert excinfo.value.repo_id == "IDL:X:1.0"
+    assert excinfo.value.detail == "det"
+
+
+def test_reply_for_system_exception_roundtrip():
+    op = ECHO.operation("echo")
+    encoded = reply_for_exception(9, ObjectNotExist("gone", minor=3))
+    reply = decode_reply(encoded)
+    assert reply.status == ReplyStatus.SYSTEM_EXCEPTION
+    with pytest.raises(CorbaSystemException) as excinfo:
+        decode_result(op, reply)
+    assert "ObjectNotExist" in str(excinfo.value)
+    assert excinfo.value.minor == 3
+
+
+def test_decode_result_rejects_unknown_status():
+    op = ECHO.operation("echo")
+    from repro.iiop import ReplyMessage
+    reply = ReplyMessage(request_id=1, status=99, body=b"")
+    with pytest.raises(MarshalError):
+        decode_result(op, reply)
+
+
+def test_run_to_completion_simple():
+    op, value = run_to_completion(EchoServant(), request_for("add", [2, 2]))
+    assert value == 4
+    assert op.name == "add"
+
+
+def test_run_to_completion_rejects_generators():
+    with pytest.raises(CorbaSystemException):
+        run_to_completion(EchoServant(), request_for("nested", []))
+
+
+def test_start_invocation_returns_generator_for_nested():
+    import inspect
+    op, outcome = start_invocation(EchoServant(), request_for("nested", []))
+    assert inspect.isgenerator(outcome)
+
+
+def test_start_invocation_unknown_operation():
+    request = RequestMessage(request_id=1, response_expected=True,
+                             object_key=b"k", operation="nope")
+    with pytest.raises(BadOperation):
+        start_invocation(EchoServant(), request)
+
+
+def test_interface_rejects_duplicate_operations():
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        Interface("Dup", [Operation("x", [], TC_LONG),
+                          Operation("x", [], TC_LONG)])
+
+
+def test_oneway_with_result_rejected():
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        Operation("bad", [], TC_LONG, oneway=True)
+
+
+def test_interface_contains_and_repr():
+    assert "echo" in ECHO
+    assert "missing" not in ECHO
+    assert "Echo" in repr(ECHO)

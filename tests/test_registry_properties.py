@@ -1,0 +1,86 @@
+"""Property-based tests: the registry converges under any idempotent
+control sequence applied in the same order, regardless of duplication.
+
+This is the backbone of the decentralised design: every processor
+applies the same control stream (total order), possibly with duplicated
+control messages (replicated managers emit redundantly), and must end
+with an identical directory.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eternal import GroupInfo, GroupRegistry, ReplicationStyle
+
+HOSTS = ["h0", "h1", "h2", "h3"]
+
+ops = st.one_of(
+    st.tuples(st.just("announce"), st.integers(10, 14),
+              st.sampled_from(["A", "B", "C"])),
+    st.tuples(st.just("add"), st.integers(10, 14), st.sampled_from(HOSTS)),
+    st.tuples(st.just("remove_replica"), st.integers(10, 14),
+              st.sampled_from(HOSTS)),
+    st.tuples(st.just("remove"), st.integers(10, 14), st.none()),
+    st.tuples(st.just("prune"), st.lists(st.sampled_from(HOSTS),
+                                         min_size=1, unique=True), st.none()),
+)
+
+
+def apply(registry, op):
+    kind, a, b = op
+    if kind == "announce":
+        registry.announce(GroupInfo(
+            group_id=a, name=f"{b}{a}", interface_name="I",
+            factory_name="f", style=ReplicationStyle.ACTIVE,
+            placement=tuple(HOSTS[: (a % 3) + 1])))
+    elif kind == "add":
+        registry.add_replica(a, b)
+    elif kind == "remove_replica":
+        registry.remove_replica(a, b)
+    elif kind == "remove":
+        registry.remove(a)
+    elif kind == "prune":
+        registry.prune_dead_hosts(a)
+
+
+def snapshot(registry):
+    return tuple((g.group_id, g.name, g.placement, g.version)
+                 for g in registry.all_groups())
+
+
+@settings(max_examples=200)
+@given(st.lists(ops, max_size=40))
+def test_same_sequence_same_registry_property(sequence):
+    a, b = GroupRegistry(), GroupRegistry()
+    for op in sequence:
+        apply(a, op)
+        apply(b, op)
+    assert snapshot(a) == snapshot(b)
+
+
+@settings(max_examples=200)
+@given(st.lists(ops, max_size=30), st.data())
+def test_duplicated_controls_do_not_diverge_property(sequence, data):
+    """Registry B sees every operation one or more times (as when
+    several manager replicas emit the same control); it must still end
+    identical to registry A which saw each exactly once."""
+    a, b = GroupRegistry(), GroupRegistry()
+    for op in sequence:
+        apply(a, op)
+        repeats = data.draw(st.integers(1, 3))
+        for _ in range(repeats):
+            apply(b, op)
+    assert snapshot(a) == snapshot(b)
+
+
+@settings(max_examples=100)
+@given(st.lists(ops, max_size=30))
+def test_primary_is_always_live_or_none_property(sequence):
+    registry = GroupRegistry()
+    for op in sequence:
+        apply(registry, op)
+    live = ["h0", "h2"]
+    for info in registry.all_groups():
+        primary = info.primary(live)
+        assert primary is None or primary in live
+        assert primary is None or primary in info.placement

@@ -1,0 +1,115 @@
+"""Unit tests for Host/Process lifecycle and failure-aware timers."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim import Process, World
+
+
+class TickingProcess(Process):
+    def __init__(self, host, name):
+        super().__init__(host, name)
+        self.ticks = 0
+        self.started = 0
+        self.stopped = 0
+
+    def handle_start(self):
+        self.started += 1
+        self._tick()
+
+    def handle_stop(self):
+        self.stopped += 1
+
+    def _tick(self):
+        self.ticks += 1
+        self.after(1.0, self._tick)
+
+
+def test_process_lifecycle(world):
+    host = world.add_host("h")
+    process = TickingProcess(host, "ticker")
+    process.start()
+    assert process.running and process.alive
+    world.run(until=5.5)
+    assert process.ticks == 6  # immediate + 5 scheduled
+    process.stop()
+    world.run(until=10.0)
+    assert process.ticks == 6  # timers suppressed after stop
+    assert process.stopped == 1
+
+
+def test_start_is_idempotent(world):
+    host = world.add_host("h")
+    process = TickingProcess(host, "t")
+    process.start()
+    process.start()
+    assert process.started == 1
+
+
+def test_host_crash_stops_processes_and_suppresses_timers(world):
+    host = world.add_host("h")
+    process = TickingProcess(host, "t")
+    process.start()
+    world.run(until=2.5)
+    ticks_at_crash = process.ticks
+    host.crash()
+    assert process.stopped == 1
+    assert not process.alive
+    world.run(until=20.0)
+    assert process.ticks == ticks_at_crash
+
+
+def test_cannot_start_process_on_dead_host(world):
+    host = world.add_host("h")
+    host.crash()
+    process = TickingProcess(host, "t")
+    with pytest.raises(ConfigurationError):
+        process.start()
+
+
+def test_recovery_does_not_restart_processes(world):
+    """Paper semantics: processor recovery is separate from replica
+    recovery; software must be explicitly restarted."""
+    host = world.add_host("h")
+    process = TickingProcess(host, "t")
+    process.start()
+    host.crash()
+    host.recover()
+    assert host.alive
+    assert not process.running
+    world.run(until=5.0)
+    assert process.ticks <= 1
+
+
+def test_crash_and_recovery_host_callbacks(world):
+    host = world.add_host("h")
+    events = []
+    host.on_crash(lambda h: events.append("crash"))
+    host.on_recovery(lambda h: events.append("recover"))
+    host.crash()
+    host.recover()
+    assert events == ["crash", "recover"]
+
+
+def test_timer_list_is_pruned(world):
+    """The process keeps its timer bookkeeping bounded."""
+    host = world.add_host("h")
+    process = TickingProcess(host, "t")
+    process.start()
+    for _ in range(200):
+        process.soon(lambda: None)
+    world.run(until=1.0)
+    for _ in range(200):
+        process.soon(lambda: None)
+    assert len(process._timers) <= 300
+
+
+def test_soon_runs_at_current_time(world):
+    host = world.add_host("h")
+    process = TickingProcess(host, "t")
+    process.running = True
+    seen = []
+    world.scheduler.call_at(3.0, lambda: process.soon(
+        lambda: seen.append(world.now)))
+    world.run()
+    assert seen == [3.0]

@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Scheduler
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.call_at(2.0, fired.append, "b")
+    sched.call_at(1.0, fired.append, "a")
+    sched.call_at(3.0, fired.append, "c")
+    sched.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sched = Scheduler()
+    fired = []
+    for i in range(10):
+        sched.call_at(1.0, fired.append, i)
+    sched.run()
+    assert fired == list(range(10))
+
+
+def test_call_after_is_relative_to_now():
+    sched = Scheduler()
+    times = []
+    sched.call_at(5.0, lambda: sched.call_after(2.5, lambda: times.append(sched.now)))
+    sched.run()
+    assert times == [7.5]
+
+
+def test_cancelled_timer_does_not_fire():
+    sched = Scheduler()
+    fired = []
+    timer = sched.call_at(1.0, fired.append, "x")
+    timer.cancel()
+    sched.run()
+    assert fired == []
+    assert not timer.active
+
+
+def test_run_until_time_bound_leaves_future_events_queued():
+    sched = Scheduler()
+    fired = []
+    sched.call_at(1.0, fired.append, "early")
+    sched.call_at(10.0, fired.append, "late")
+    sched.run(until=5.0)
+    assert fired == ["early"]
+    assert sched.now == 5.0
+    sched.run()
+    assert fired == ["early", "late"]
+
+
+def test_scheduling_in_the_past_raises():
+    sched = Scheduler()
+    sched.call_at(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.call_at(1.0, lambda: None)
+
+
+def test_negative_delay_raises():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.call_after(-1.0, lambda: None)
+
+
+def test_run_until_predicate():
+    sched = Scheduler()
+    state = {"n": 0}
+
+    def bump():
+        state["n"] += 1
+        if state["n"] < 5:
+            sched.call_after(1.0, bump)
+
+    sched.call_after(1.0, bump)
+    sched.run_until(lambda: state["n"] >= 3)
+    assert state["n"] == 3
+    assert sched.now == 3.0
+
+
+def test_run_until_raises_on_quiescence_without_condition():
+    sched = Scheduler()
+    sched.call_after(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sched.run_until(lambda: False)
+
+
+def test_run_until_raises_on_timeout():
+    sched = Scheduler()
+
+    def forever():
+        sched.call_after(1.0, forever)
+
+    sched.call_after(1.0, forever)
+    with pytest.raises(SimulationError):
+        sched.run_until(lambda: False, timeout=10.0)
+
+
+def test_event_budget_guards_against_livelock():
+    sched = Scheduler()
+
+    def forever():
+        sched.call_soon(forever)
+
+    sched.call_soon(forever)
+    with pytest.raises(SimulationError):
+        sched.run(max_events=1000)
+
+
+def test_step_runs_single_event():
+    sched = Scheduler()
+    fired = []
+    sched.call_at(1.0, fired.append, 1)
+    sched.call_at(2.0, fired.append, 2)
+    assert sched.step()
+    assert fired == [1]
+    assert sched.step()
+    assert not sched.step()

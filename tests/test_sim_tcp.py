@@ -1,0 +1,186 @@
+"""Integration tests for the simulated TCP layer."""
+
+import pytest
+
+from repro.errors import CommFailure
+from repro.sim import World
+
+
+def make_world(**kwargs):
+    return World(seed=7, **kwargs)
+
+
+def establish(world, client_host, server_host, port=2809):
+    """Connect client->server; returns (client_endpoint, server_endpoint)."""
+    accepted = []
+    world.tcp.listen(server_host, port, accepted.append)
+    result = {}
+    world.tcp.connect(
+        client_host, (server_host.name, port),
+        lambda ep: result.setdefault("client", ep),
+        lambda exc: result.setdefault("error", exc),
+    )
+    world.scheduler.run_until(lambda: "client" in result or "error" in result)
+    if "error" in result:
+        raise result["error"]
+    assert len(accepted) == 1
+    return result["client"], accepted[0]
+
+
+def test_connect_and_exchange_bytes():
+    world = make_world()
+    a = world.add_host("client")
+    b = world.add_host("server")
+    client, server = establish(world, a, b)
+
+    received = []
+    server.on_data = received.append
+    client.send(b"hello gateway")
+    world.run(until=world.now + 1.0)
+    assert b"".join(received) == b"hello gateway"
+
+
+def test_bidirectional_traffic():
+    world = make_world()
+    a = world.add_host("client")
+    b = world.add_host("server")
+    client, server = establish(world, a, b)
+
+    to_server, to_client = [], []
+    server.on_data = to_server.append
+    client.on_data = to_client.append
+    client.send(b"ping")
+    server.send(b"pong")
+    world.run(until=world.now + 1.0)
+    assert b"".join(to_server) == b"ping"
+    assert b"".join(to_client) == b"pong"
+
+
+def test_fifo_ordering_of_many_sends():
+    world = make_world()
+    a = world.add_host("client")
+    b = world.add_host("server")
+    client, server = establish(world, a, b)
+
+    received = []
+    server.on_data = received.append
+    for i in range(50):
+        client.send(bytes([i]))
+    world.run(until=world.now + 1.0)
+    assert b"".join(received) == bytes(range(50))
+
+
+def test_mtu_segmentation_preserves_stream():
+    world = World(seed=1, mtu=3)
+    a = world.add_host("client")
+    b = world.add_host("server")
+    client, server = establish(world, a, b)
+
+    received = []
+    server.on_data = received.append
+    client.send(b"abcdefghij")
+    world.run(until=world.now + 1.0)
+    assert b"".join(received) == b"abcdefghij"
+    assert len(received) > 1  # genuinely segmented
+
+
+def test_connect_to_unbound_port_fails():
+    world = make_world()
+    a = world.add_host("client")
+    world.add_host("server")
+    result = {}
+    world.tcp.connect(a, ("server", 9999),
+                      lambda ep: result.setdefault("ok", ep),
+                      lambda exc: result.setdefault("error", exc))
+    world.scheduler.run_until(lambda: result)
+    assert isinstance(result["error"], CommFailure)
+
+
+def test_connect_to_dead_host_fails():
+    world = make_world()
+    a = world.add_host("client")
+    b = world.add_host("server")
+    world.tcp.listen(b, 2809, lambda ep: None)
+    b.crash()
+    result = {}
+    world.tcp.connect(a, ("server", 2809),
+                      lambda ep: result.setdefault("ok", ep),
+                      lambda exc: result.setdefault("error", exc))
+    world.scheduler.run_until(lambda: result)
+    assert isinstance(result["error"], CommFailure)
+
+
+def test_close_notifies_peer():
+    world = make_world()
+    a = world.add_host("client")
+    b = world.add_host("server")
+    client, server = establish(world, a, b)
+
+    closed = []
+    server.on_close = lambda: closed.append(True)
+    client.close()
+    world.run(until=world.now + 1.0)
+    assert closed == [True]
+    assert not server.open
+
+
+def test_host_crash_severs_connection():
+    world = make_world()
+    a = world.add_host("client")
+    b = world.add_host("server")
+    client, server = establish(world, a, b)
+
+    closed = []
+    client.on_close = lambda: closed.append(True)
+    b.crash()
+    world.run(until=world.now + 1.0)
+    assert closed == [True]
+    with pytest.raises(CommFailure):
+        client.send(b"into the void")
+
+
+def test_send_on_closed_connection_raises():
+    world = make_world()
+    a = world.add_host("client")
+    b = world.add_host("server")
+    client, server = establish(world, a, b)
+    client.close()
+    with pytest.raises(CommFailure):
+        client.send(b"x")
+
+
+def test_multiple_clients_get_distinct_server_sockets():
+    """The gateway pattern: one listener, one spawned socket per client."""
+    world = make_world()
+    server_host = world.add_host("gw")
+    accepted = []
+    world.tcp.listen(server_host, 2809, accepted.append)
+    clients = []
+    for i in range(5):
+        host = world.add_host(f"client{i}")
+        world.tcp.connect(host, ("gw", 2809),
+                          clients.append, lambda exc: None)
+    world.scheduler.run_until(lambda: len(clients) == 5 and len(accepted) == 5)
+    assert len({ep.conn_id for ep in accepted}) == 5
+    # Traffic on one spawned socket does not leak to another.
+    received = {i: [] for i in range(5)}
+    for i, ep in enumerate(accepted):
+        ep.on_data = received[i].append
+    clients[2].send(b"only-two")
+    world.run(until=world.now + 1.0)
+    assert b"".join(received[2]) == b"only-two"
+    assert all(not received[i] for i in range(5) if i != 2)
+
+
+def test_partition_blocks_connect():
+    world = make_world()
+    a = world.add_host("client")
+    b = world.add_host("server")
+    world.tcp.listen(b, 2809, lambda ep: None)
+    world.network.partition({"client"}, {"server"})
+    result = {}
+    world.tcp.connect(a, ("server", 2809),
+                      lambda ep: result.setdefault("ok", ep),
+                      lambda exc: result.setdefault("error", exc))
+    world.scheduler.run_until(lambda: result)
+    assert isinstance(result["error"], CommFailure)

@@ -1,0 +1,112 @@
+"""Property-based tests for the Totem total-order invariants.
+
+These drive the real protocol over the simulated network with
+randomised traffic and crash schedules, then check the two invariants
+Eternal builds on: (1) survivors deliver a common totally-ordered
+prefix-free sequence — identical order, no duplicates; (2) per-sender
+FIFO is preserved within the total order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import World
+from repro.totem import TotemMember, TotemTransport
+
+
+def build_ring(world, count):
+    transport = TotemTransport(world.network, "d")
+    members, delivered = [], {}
+    for i in range(count):
+        host = world.add_host(f"n{i}", site="lan")
+        member = TotemMember(host, f"n{i}", transport)
+        delivered[member.name] = []
+        member.on_deliver(lambda seq, snd, payload, n=member.name:
+                          delivered[n].append((seq, snd, payload)))
+        members.append(member)
+    for member in members:
+        member.start()
+    world.scheduler.run_until(
+        lambda: all(m.state == TotemMember.OPERATIONAL and
+                    len(m.members) == count for m in members), timeout=30.0)
+    return members, delivered
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=5),
+       st.lists(st.tuples(st.integers(0, 4), st.integers(0, 100)),
+                min_size=1, max_size=30),
+       st.integers(0, 2**31 - 1))
+def test_identical_total_order_property(n, sends, seed):
+    world = World(seed=seed, trace=False)
+    members, delivered = build_ring(world, n)
+    total = 0
+    for sender_index, payload in sends:
+        members[sender_index % n].multicast((sender_index % n, payload, total))
+        total += 1
+    world.scheduler.run_until(
+        lambda: all(len(delivered[m.name]) == total for m in members),
+        timeout=120.0)
+    reference = delivered[members[0].name]
+    for member in members[1:]:
+        assert delivered[member.name] == reference
+    seqs = [s for (s, _, _) in reference]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=3, max_value=5),
+       st.integers(0, 2**31 - 1),
+       st.data())
+def test_survivors_agree_after_crash_property(n, seed, data):
+    world = World(seed=seed, trace=False)
+    members, delivered = build_ring(world, n)
+    victim = data.draw(st.integers(0, n - 1), label="victim")
+    crash_after = data.draw(st.floats(0.0, 0.02), label="crash_delay")
+    # Everyone sends a burst; the victim crashes somewhere inside it.
+    for i, member in enumerate(members):
+        for j in range(4):
+            member.multicast((i, j))
+    world.faults.crash_host(f"n{victim}", world.now + crash_after)
+    world.run(until=world.now + 3.0)
+    survivors = [m for m in members if m.name != f"n{victim}"]
+    # All survivors are operational on the same reformed ring.
+    assert all(m.state == TotemMember.OPERATIONAL for m in survivors)
+    ring_ids = {m.ring_id for m in survivors}
+    assert len(ring_ids) == 1
+    # Identical delivery sequences among survivors.
+    reference = delivered[survivors[0].name]
+    for member in survivors[1:]:
+        assert delivered[member.name] == reference
+    # Survivors' own messages were all delivered (sender FIFO intact).
+    for i, member in enumerate(members):
+        if member.name == f"n{victim}":
+            continue
+        own = [p for (_, snd, p) in reference if snd == member.name]
+        assert own == [(i, j) for j in range(4)]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 4), st.integers(0, 2**31 - 1))
+def test_sequence_numbers_survive_reformation_property(n, seed):
+    """Sequence numbers never regress across a membership change — the
+    uniqueness property Figure 6 identifiers rely on."""
+    world = World(seed=seed, trace=False)
+    members, delivered = build_ring(world, n + 1)
+    for member in members:
+        member.multicast("pre")
+    world.scheduler.run_until(
+        lambda: all(len(delivered[m.name]) == n + 1 for m in members),
+        timeout=60.0)
+    world.faults.crash_now(members[-1].name)
+    world.run(until=world.now + 1.0)
+    for member in members[:-1]:
+        member.multicast("post")
+    survivors = members[:-1]
+    world.scheduler.run_until(
+        lambda: all(len(delivered[m.name]) == 2 * n + 1 for m in survivors),
+        timeout=60.0)
+    seqs = [s for (s, _, _) in delivered[members[0].name]]
+    assert seqs == sorted(seqs)
+    assert len(set(seqs)) == len(seqs)

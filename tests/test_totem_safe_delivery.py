@@ -1,0 +1,120 @@
+"""Tests for Totem safe (stability-gated) delivery."""
+
+import pytest
+
+from repro.sim import World
+from repro.totem import TotemMember, TotemTransport
+
+
+def build(world, count):
+    transport = TotemTransport(world.network, "d")
+    members, agreed, safe = [], {}, {}
+    for i in range(count):
+        host = world.add_host(f"s{i}", site="lan")
+        member = TotemMember(host, f"s{i}", transport)
+        agreed[member.name] = []
+        safe[member.name] = []
+        member.on_deliver(lambda seq, snd, p, n=member.name:
+                          agreed[n].append((seq, p)))
+        member.on_deliver_safe(lambda seq, snd, p, n=member.name:
+                               safe[n].append((seq, p)))
+        members.append(member)
+    for member in members:
+        member.start()
+    world.scheduler.run_until(
+        lambda: all(m.state == TotemMember.OPERATIONAL and
+                    len(m.members) == count for m in members), timeout=30.0)
+    return members, agreed, safe
+
+
+def test_safe_delivery_eventually_matches_agreed(world):
+    members, agreed, safe = build(world, 3)
+    for i in range(10):
+        members[i % 3].multicast(i)
+    world.scheduler.run_until(
+        lambda: all(len(safe[m.name]) == 10 for m in members), timeout=60.0)
+    for member in members:
+        assert safe[member.name] == agreed[member.name]
+
+
+def test_safe_delivery_lags_agreed_delivery(world):
+    members, agreed, safe = build(world, 3)
+    members[0].multicast("x")
+    # Run until agreed delivery happens at one member, then compare.
+    world.scheduler.run_until(lambda: agreed["s1"], timeout=30.0)
+    assert safe["s1"] == [] or len(safe["s1"]) <= len(agreed["s1"])
+    world.scheduler.run_until(lambda: safe["s1"], timeout=30.0)
+    assert safe["s1"] == agreed["s1"]
+
+
+def test_safe_delivery_order_is_total(world):
+    members, agreed, safe = build(world, 4)
+    for i in range(12):
+        members[i % 4].multicast(i)
+    world.scheduler.run_until(
+        lambda: all(len(safe[m.name]) == 12 for m in members), timeout=60.0)
+    reference = safe[members[0].name]
+    for member in members[1:]:
+        assert safe[member.name] == reference
+    seqs = [s for (s, _) in reference]
+    assert seqs == sorted(seqs)
+
+
+def test_membership_change_acts_as_stability_cut(world):
+    members, agreed, safe = build(world, 3)
+    members[0].multicast("pre-crash")
+    world.scheduler.run_until(
+        lambda: all(("pre-crash" in [p for (_, p) in agreed[m.name]])
+                    for m in members), timeout=30.0)
+    world.faults.crash_now("s2")
+    survivors = members[:2]
+    world.scheduler.run_until(
+        lambda: all(len(m.members) == 2 and
+                    m.state == TotemMember.OPERATIONAL for m in survivors),
+        timeout=30.0)
+    # The reformation finalises everything delivered before the cut.
+    for member in survivors:
+        assert ("pre-crash" in [p for (_, p) in safe[member.name]])
+
+
+def test_no_safe_listeners_means_no_buffering(world):
+    transport = TotemTransport(world.network, "d")
+    host = world.add_host("solo")
+    member = TotemMember(host, "solo", transport)
+    seen = []
+    member.on_deliver(lambda seq, snd, p: seen.append(p))
+    member.start()
+    world.scheduler.run_until(
+        lambda: member.state == TotemMember.OPERATIONAL, timeout=30.0)
+    member.multicast("x")
+    world.scheduler.run_until(lambda: seen, timeout=30.0)
+    assert member._safe_buffer == {}
+
+
+def test_safe_delivery_never_outruns_agreed_under_crashes(world):
+    """Safety property under failure: at every point, the safe-delivered
+    sequence is a prefix of the agreed-delivered sequence."""
+    members, agreed, safe = build(world, 4)
+    for i in range(8):
+        members[i % 4].multicast(i)
+    world.faults.crash_host("s3", at=world.now + 0.01)
+    world.run(until=world.now + 2.0)
+    for member in members[:3]:
+        agreed_seq = agreed[member.name]
+        safe_seq = safe[member.name]
+        assert safe_seq == agreed_seq[:len(safe_seq)]
+    # Quiescent: survivors' safe and agreed views coincide in the end.
+    for member in members[:3]:
+        assert safe[member.name] == agreed[member.name]
+
+
+def test_safe_delivery_identical_across_survivors_after_crash(world):
+    members, agreed, safe = build(world, 3)
+    for i in range(6):
+        members[i % 3].multicast(i)
+    world.faults.crash_host("s1", at=world.now + 0.005)
+    world.run(until=world.now + 2.0)
+    survivors = [m for m in members if m.name != "s1"]
+    reference = safe[survivors[0].name]
+    for member in survivors[1:]:
+        assert safe[member.name] == reference

@@ -1,0 +1,100 @@
+"""Unit tests for World and Promise plumbing."""
+
+import pytest
+
+from repro import Promise, World
+from repro.errors import SimulationError
+from repro.sim import LatencyModel
+
+
+def test_promise_resolve_and_result():
+    p = Promise()
+    assert not p.done
+    p.resolve(42)
+    assert p.done and not p.failed
+    assert p.result() == 42
+    assert p.value == 42
+
+
+def test_promise_reject_raises_on_result():
+    p = Promise()
+    p.reject(ValueError("nope"))
+    assert p.failed
+    with pytest.raises(ValueError):
+        p.result()
+
+
+def test_promise_single_assignment():
+    p = Promise()
+    p.resolve(1)
+    p.resolve(2)
+    p.reject(ValueError())
+    assert p.result() == 1
+
+
+def test_promise_result_before_done_raises():
+    with pytest.raises(SimulationError):
+        Promise().result()
+
+
+def test_on_done_fires_immediately_when_already_done():
+    p = Promise()
+    p.resolve(7)
+    seen = []
+    p.on_done(lambda pr: seen.append(pr.value))
+    assert seen == [7]
+
+
+def test_on_done_fires_on_completion():
+    p = Promise()
+    seen = []
+    p.on_done(lambda pr: seen.append(pr.value))
+    p.resolve(3)
+    assert seen == [3]
+
+
+def test_world_await_promise_drives_simulation():
+    world = World(seed=1)
+    p = Promise()
+    world.scheduler.call_after(5.0, p.resolve, "done")
+    assert world.await_promise(p) == "done"
+    assert world.now == 5.0
+
+
+def test_world_run_until_done_multiple():
+    world = World(seed=1)
+    promises = [Promise() for _ in range(3)]
+    for i, p in enumerate(promises):
+        world.scheduler.call_after(i + 1.0, p.resolve, i)
+    world.run_until_done(promises)
+    assert [p.result() for p in promises] == [0, 1, 2]
+
+
+def test_world_seed_controls_rng():
+    assert World(seed=5).rng.random() == World(seed=5).rng.random()
+    assert World(seed=5).rng.random() != World(seed=6).rng.random()
+
+
+def test_latency_model_sites():
+    model = LatencyModel(local_latency=0.001, wan_latency=0.05)
+    model.set_site("a1", "siteA")
+    model.set_site("a2", "siteA")
+    model.set_site("b1", "siteB")
+    assert model.latency("a1", "a2") == 0.001
+    assert model.latency("a1", "b1") == 0.05
+
+
+def test_latency_model_pair_override():
+    model = LatencyModel()
+    model.set_site("x", "s1")
+    model.set_site("y", "s2")
+    model.set_pair("x", "y", 0.123)
+    assert model.latency("x", "y") == 0.123
+    assert model.latency("y", "x") == 0.123
+
+
+def test_duplicate_host_name_rejected():
+    world = World(seed=1)
+    world.add_host("h")
+    with pytest.raises(ValueError):
+        world.add_host("h")

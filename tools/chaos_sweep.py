@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Exhaustive single- and double-fault sweep over the gateway scenario.
+
+Usage:
+    python tools/chaos_sweep.py [--double] [--grid-ms 10] [--ops 4]
+
+For every processor of a standard domain (4 replica hosts, 2 gateways)
+and every crash instant on a time grid, runs the fixed enhanced-client
+workload and checks the exactly-once invariants.  With ``--double``,
+additionally sweeps ordered pairs of faults (victim A at t1, victim B
+at t2 > t1) — quadratic, so expect a few minutes.
+
+Prints a summary and exits non-zero if any scenario violated an
+invariant.  This is the campaign behind
+``tests/test_chaos_sweep.py``'s bounded grid.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import sys
+import time
+
+sys.path.insert(0, "src")
+
+from repro import FtClientLayer, Orb, World  # noqa: E402
+from repro.apps import COUNTER_INTERFACE, CounterServant  # noqa: E402
+from repro.eternal import FaultToleranceDomain, ReplicationStyle  # noqa: E402
+
+
+def build(seed):
+    world = World(seed=seed, trace=False)
+    domain = FaultToleranceDomain(world, "dom", num_hosts=4)
+    domain.add_gateway(port=2809)
+    domain.add_gateway(port=2809)
+    domain.await_stable()
+    group = domain.create_group("Counter", COUNTER_INTERFACE, CounterServant,
+                                style=ReplicationStyle.ACTIVE,
+                                num_replicas=3, min_replicas=2)
+    domain.await_ready(group)
+    host = world.add_host("browser")
+    orb = Orb(world, host, request_timeout=None)
+    layer = FtClientLayer(orb, client_uid="chaos")
+    stub = layer.string_to_object(domain.ior_for(group).to_string(),
+                                  COUNTER_INTERFACE)
+    return world, domain, group, stub
+
+
+def run(faults, operations, seed=5):
+    """faults: list of (victim host name index, delay seconds)."""
+    world, domain, group, stub = build(seed)
+    victims = [h.name for h in domain.hosts]
+    gateway_hosts = {gw.host.name for gw in domain.gateways}
+    chosen = {victims[index % len(victims)] for index, _ in faults}
+    all_gateways_die = gateway_hosts <= chosen
+    for index, delay in faults:
+        victim = victims[index % len(victims)]
+        world.scheduler.call_after(delay,
+                                   lambda v=victim: world.faults.crash_now(v))
+    results = []
+    try:
+        for _ in range(operations):
+            results.append(world.await_promise(stub.call("increment", 1),
+                                               timeout=600))
+    except Exception as exc:
+        if all_gateways_die:
+            # With every gateway dead, a clean COMM_FAILURE is the
+            # *correct* outcome (no entry point remains) — provided the
+            # domain itself stayed consistent.
+            world.run(until=world.now + 2.0)
+            counts = set()
+            for rm in domain.rms.values():
+                record = rm.replicas.get(group.group_id)
+                if record is not None and rm.alive and record.ready:
+                    counts.add(record.servant.count)
+            if len(counts) <= 1:
+                return True, "all gateways dead: clean failure"
+        return False, f"client error: {type(exc).__name__}: {exc}"
+    world.run(until=world.now + 2.0)
+    counts = set()
+    for rm in domain.rms.values():
+        record = rm.replicas.get(group.group_id)
+        if record is not None and rm.alive and record.ready:
+            counts.add(record.servant.count)
+    if results != list(range(1, operations + 1)):
+        return False, f"results {results}"
+    if counts != {operations}:
+        return False, f"replica divergence {counts}"
+    return True, "ok"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--double", action="store_true",
+                        help="also sweep ordered fault pairs")
+    parser.add_argument("--grid-ms", type=int, default=50)
+    parser.add_argument("--ops", type=int, default=4)
+    args = parser.parse_args()
+
+    grid = [t / 1000.0 for t in range(10, 600, args.grid_ms)]
+    processors = 6  # 4 replica hosts + 2 gateways
+    failures = []
+    started = time.time()
+    total = 0
+
+    print(f"single-fault sweep: {processors} victims x {len(grid)} instants")
+    for index, delay in itertools.product(range(processors), grid):
+        total += 1
+        ok, detail = run([(index, delay)], args.ops)
+        if not ok:
+            failures.append((f"single victim={index} t={delay}", detail))
+
+    if args.double:
+        print("double-fault sweep (this takes a while) ...")
+        for (i1, t1), (i2, t2) in itertools.product(
+                itertools.product(range(processors), grid[::2]), repeat=2):
+            if t2 <= t1 or i1 == i2:
+                continue
+            total += 1
+            ok, detail = run([(i1, t1), (i2, t2)], args.ops)
+            if not ok:
+                failures.append(
+                    (f"double ({i1}@{t1}, {i2}@{t2})", detail))
+
+    elapsed = time.time() - started
+    print(f"\n{total} scenarios in {elapsed:.1f}s wall; "
+          f"{len(failures)} invariant violations")
+    for name, detail in failures[:20]:
+        print(f"  FAIL {name}: {detail}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
