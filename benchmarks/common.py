@@ -49,6 +49,23 @@ def external_stub(world, domain, group, enhanced=True, host_name="browser",
     return orb.string_to_object(ior.to_string(), group.interface), None
 
 
+def metrics_extra_info(world):
+    """Registry snapshot for ``benchmark.extra_info``.
+
+    Force-creates the headline series (gateway request latency, Totem
+    retransmissions, duplicate suppressions) so every benchmark reports
+    them — as zeros when the scenario never exercised that path — and
+    keeps the snapshot to the paper-relevant prefixes.
+    """
+    world.metrics.histogram("gateway.req.latency", unit="s")
+    world.metrics.counter("totem.retransmit.count")
+    world.metrics.counter("gateway.dup.suppressed")
+    snapshot = world.metrics.snapshot()
+    prefixes = ("gateway.", "totem.", "fault.", "eternal.")
+    return {name: data for name, data in snapshot.items()
+            if name.startswith(prefixes)}
+
+
 def replica_values(domain, group):
     values = {}
     for host_name, rm in domain.rms.items():

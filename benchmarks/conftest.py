@@ -9,6 +9,42 @@ shows paper-relevant results without needing --benchmark-json.
 
 from __future__ import annotations
 
+import pytest
+
+import repro
+from repro.sim import world as world_module
+
+from common import metrics_extra_info
+
+
+@pytest.fixture(autouse=True)
+def attach_metrics(request, monkeypatch):
+    """Attach a metrics-registry snapshot to every benchmark's extra_info.
+
+    Benchmarks build their Worlds inside the benchmarked callable, so
+    the fixture tracks the most recently constructed World and, after
+    the test, stores its (simulated-time only, hence deterministic)
+    snapshot under the ``metrics`` key.  pytest-benchmark keeps a
+    reference to the fixture's extra_info dict, so a teardown-time
+    update still reaches the report.
+    """
+    created = []
+    original_init = world_module.World.__init__
+
+    def tracking_init(self, *args, **kwargs):
+        original_init(self, *args, **kwargs)
+        created.append(self)
+
+    monkeypatch.setattr(world_module.World, "__init__", tracking_init)
+    yield
+    benchmark = request.node.funcargs.get("benchmark")
+    if benchmark is None:
+        return
+    # No World constructed (pure-marshalling benchmarks): snapshot a
+    # fresh registry so the headline series are still reported.
+    world = created[-1] if created else repro.World(seed=0, trace=False)
+    benchmark.extra_info.setdefault("metrics", metrics_extra_info(world))
+
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     session = getattr(config, "_benchmarksession", None)

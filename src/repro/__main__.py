@@ -3,17 +3,35 @@
 Builds the paper's Figure 3 scenario (unreplicated client, gateway,
 actively replicated server), injects a gateway failover, and prints a
 domain status report.  Useful as a smoke test of an installation.
+
+``--metrics`` appends the world's metrics registry after the report;
+``--metrics-json`` prints the canonical JSON snapshot instead of the
+table (byte-identical across runs of the same seed).
 """
 
 from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
 
 from repro import FaultToleranceDomain, FtClientLayer, Orb, ReplicationStyle, World
 from repro.apps import COUNTER_INTERFACE, CounterServant
 from repro.eternal import domain_report, format_report
 
 
-def main() -> int:
-    world = World(seed=2026)
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="demonstration run: gateway failover over a "
+                    "fault tolerance domain")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the metrics registry after the report")
+    parser.add_argument("--metrics-json", action="store_true",
+                        help="print the canonical JSON metrics snapshot")
+    parser.add_argument("--seed", type=int, default=2026,
+                        help="world seed (default: 2026)")
+    args = parser.parse_args(argv)
+    world = World(seed=args.seed)
     domain = FaultToleranceDomain(world, "demo", num_hosts=3)
     domain.add_gateway(port=2809)
     domain.add_gateway(port=2809)
@@ -46,6 +64,11 @@ def main() -> int:
               if group.group_id in rm.replicas}
     ok = values == {expected}
     print(f"\nreplica agreement: {'OK' if ok else 'BROKEN'} (values={values})")
+    if args.metrics:
+        print("\nmetrics registry:")
+        print(world.metrics_report())
+    if args.metrics_json:
+        print(world.metrics_json())
     return 0 if ok else 1
 
 

@@ -61,6 +61,10 @@ class _PendingRequest:
     forwarder: str
     forwarded: bool = False
     response_expected: bool = True
+    # Simulated receipt time at the gateway that read the request off its
+    # client socket; None for records reconstructed from mirrors (the
+    # mirror observer never saw the request arrive).
+    received_at: float = None  # type: ignore[assignment]
 
 
 class Gateway(Process):
@@ -109,6 +113,28 @@ class Gateway(Process):
             "clients_gone": 0,
             "bad_object_key": 0,
         }
+
+        # World-shared metrics (one registry per world; every gateway of
+        # the world aggregates into the same series).  The response
+        # counters partition gateway.resp.received exactly:
+        # received == suppressed + unexpected + vote_pending
+        #             + delivered + unroutable.
+        m = self.metrics
+        self._m_req_latency = m.histogram("gateway.req.latency", unit="s")
+        self._m_req_received = m.counter("gateway.req.received")
+        self._m_req_forwarded = m.counter("gateway.req.forwarded")
+        self._m_cache_replays = m.counter("gateway.cache.replays")
+        self._m_resp_received = m.counter("gateway.resp.received")
+        self._m_resp_delivered = m.counter("gateway.resp.delivered")
+        self._m_dup_suppressed = m.counter("gateway.dup.suppressed")
+        self._m_resp_unexpected = m.counter("gateway.resp.unexpected")
+        self._m_resp_unroutable = m.counter("gateway.resp.unroutable")
+        self._m_resp_vote_pending = m.counter("gateway.resp.vote_pending")
+        self._m_mirrors = m.counter("gateway.mirror.recorded")
+        self._m_takeovers = m.counter("gateway.takeover.forwards")
+        self._m_clients = m.counter("gateway.clients.connected")
+        self._m_clients_gone = m.counter("gateway.clients.gone")
+        self._m_bad_key = m.counter("gateway.req.bad_object_key")
 
     # ==================================================================
     # Lifecycle
@@ -171,6 +197,7 @@ class Gateway(Process):
 
     def _on_accept(self, endpoint: TcpEndpoint) -> None:
         self.stats["clients_connected"] += 1
+        self._m_clients.inc()
         IiopServerConnection(endpoint, self._on_client_message,
                              on_close=self._on_client_close)
 
@@ -190,6 +217,8 @@ class Gateway(Process):
             return
         request = decode_request(message)
         self.stats["requests_received"] += 1
+        self._m_req_received.inc()
+        received_at = self.scheduler.now
 
         from ..eternal.naming import parse_object_key
         parsed = parse_object_key(request.object_key)
@@ -198,6 +227,7 @@ class Gateway(Process):
             info = self.rm.registry.get(parsed[1])
         if info is None:
             self.stats["bad_object_key"] += 1
+            self._m_bad_key.inc()
             if request.response_expected:
                 connection.send(reply_for_exception(
                     request.request_id,
@@ -216,13 +246,15 @@ class Gateway(Process):
             # A reinvocation whose response we already hold (the client
             # failed over to us, or retried): answer locally.
             self.stats["cache_replays"] += 1
+            self._m_cache_replays.inc()
             connection.send(cached)
             return
 
         pending = _PendingRequest(
             client_id=client_id, op_id=op_id, target_group=target_group,
             iiop=message, forwarder=self.host.name,
-            response_expected=request.response_expected)
+            response_expected=request.response_expected,
+            received_at=received_at)
         self._pending[cache_key] = pending
         if request.response_expected:
             self._filter.expect((target_group, client_id, op_id),
@@ -279,6 +311,7 @@ class Gateway(Process):
         from ..eternal.messages import DomainMessage, MsgKind
         from ..eternal.naming import GATEWAY_GROUP
         self.stats["requests_forwarded"] += 1
+        self._m_req_forwarded.inc()
         self.rm.multicast(DomainMessage(
             kind=MsgKind.INVOCATION,
             source_group=GATEWAY_GROUP,
@@ -352,19 +385,23 @@ class Gateway(Process):
             self._purge_client(msg.client_id)
 
     def _on_domain_response(self, msg: "DomainMessage") -> None:
+        self._m_resp_received.inc()
         filter_key = (msg.source_group, msg.client_id, msg.op_id)
         verdict, payload = self._filter.offer(
             filter_key, msg.iiop, responder=msg.data.get("responder"))
         if verdict == DuplicateSuppressor.DUPLICATE:
             self.stats["duplicates_suppressed"] += 1
+            self._m_dup_suppressed.inc()
             return
         if verdict == DuplicateSuppressor.UNEXPECTED:
             # No record of this client here: with plain counter-assigned
             # client ids and no mirroring, a response surviving its
             # gateway cannot be routed (section 3.4).
             self.stats["responses_unexpected"] += 1
+            self._m_resp_unexpected.inc()
             return
         if verdict != DuplicateSuppressor.DELIVER:
+            self._m_resp_vote_pending.inc()
             return  # voting still pending
         cache_key = (msg.client_id, msg.op_id)
         self._cache[cache_key] = payload
@@ -372,27 +409,36 @@ class Gateway(Process):
             # FIFO eviction: the oldest responses are the least likely
             # to be reclaimed by a reissue (bounded gateway memory).
             self._cache.pop(next(iter(self._cache)))
-        self._pending.pop(cache_key, None)
+        record = self._pending.pop(cache_key, None)
         if cache_key in self._cancelled:
             # The client withdrew interest (CancelRequest): keep the
             # cached response (a reissue may still claim it) but do not
             # write to the socket.
             self.stats["responses_unroutable"] += 1
+            self._m_resp_unroutable.inc()
             return
         connection = self._routing.get(msg.client_id)
         if connection is not None and connection.open:
             connection.send(payload)
             self.stats["responses_delivered"] += 1
+            self._m_resp_delivered.inc()
+            if record is not None and record.received_at is not None:
+                # Socket receipt to socket write: the latency an
+                # unreplicated client observes at this gateway.
+                self._m_req_latency.observe(
+                    self.scheduler.now - record.received_at)
             self.tracer.emit(self.scheduler.now, "gateway.deliver", self.name,
                              "response delivered",
                              client=msg.client_id, op=str(msg.op_id))
         else:
             self.stats["responses_unroutable"] += 1
+            self._m_resp_unroutable.inc()
 
     def _on_mirror(self, msg: "DomainMessage") -> None:
         if not self.mirror_requests:
             return
         self.stats["mirrors_recorded"] += 1
+        self._m_mirrors.inc()
         cache_key = (msg.client_id, msg.op_id)
         if cache_key not in self._pending and cache_key not in self._cache:
             self._pending[cache_key] = _PendingRequest(
@@ -406,6 +452,7 @@ class Gateway(Process):
 
     def _purge_client(self, client_id: ClientId) -> None:
         self.stats["clients_gone"] += 1
+        self._m_clients_gone.inc()
         for key in [k for k in self._pending if k[0] == client_id]:
             del self._pending[key]
         for key in [k for k in self._cache if k[0] == client_id]:
@@ -445,4 +492,5 @@ class Gateway(Process):
             if record.forwarder not in live and not record.forwarded:
                 record.forwarder = self.host.name
                 self.stats["takeover_forwards"] += 1
+                self._m_takeovers.inc()
                 self._forward(record)

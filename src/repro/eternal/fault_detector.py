@@ -36,6 +36,8 @@ class FaultDetector:
         self.rm = rm
         self.interval = interval
         self.stats = {"probes": 0, "faults_detected": 0}
+        self._m_probes = rm.metrics.counter("fault.detector.probes")
+        self._m_faults = rm.metrics.counter("fault.detector.faults")
         # group id -> id() of the servant we reported faulty: a freshly
         # created replacement replica (new servant object) re-arms
         # monitoring for the group.
@@ -60,6 +62,7 @@ class FaultDetector:
             if check is None:
                 continue
             self.stats["probes"] += 1
+            self._m_probes.inc()
             try:
                 healthy = check()
             except Exception:
@@ -72,6 +75,7 @@ class FaultDetector:
             return  # already reported; the removal is in flight
         self._reported[group_id] = id(servant)
         self.stats["faults_detected"] += 1
+        self._m_faults.inc()
         self.rm.tracer.emit(
             self.rm.scheduler.now, "eternal.fault_detected",
             f"detector@{self.rm.host.name}",

@@ -37,18 +37,28 @@ class Checkpoint:
 
 
 class GroupLog:
-    """Per-group invocation log plus latest checkpoint."""
+    """Per-group invocation log plus latest checkpoint.
 
-    def __init__(self, group_id: int) -> None:
+    ``metrics`` is the optional world registry; when supplied, appends
+    and checkpoint installations are counted domain-wide.
+    """
+
+    def __init__(self, group_id: int, metrics: Any = None) -> None:
         self.group_id = group_id
         self.invocations: List[DomainMessage] = []
         self.checkpoint: Optional[Checkpoint] = None
         self.ops_since_checkpoint = 0
+        self._m_appends = (
+            metrics.counter("eternal.log.appends") if metrics is not None else None)
+        self._m_checkpoints = (
+            metrics.counter("eternal.checkpoint.installs") if metrics is not None else None)
 
     def record_invocation(self, message: DomainMessage) -> None:
         """Append a delivered invocation (caller already deduplicated)."""
         self.invocations.append(message)
         self.ops_since_checkpoint += 1
+        if self._m_appends is not None:
+            self._m_appends.inc()
 
     def install_checkpoint(self, state: Dict[str, Any], ts: int,
                            version: int = 1) -> None:
@@ -58,6 +68,8 @@ class GroupLog:
         self.checkpoint = Checkpoint(state=state, ts=ts, version=version)
         self.invocations = [m for m in self.invocations if m.timestamp > ts]
         self.ops_since_checkpoint = 0
+        if self._m_checkpoints is not None:
+            self._m_checkpoints.inc()
 
     def replay_after(self, ts: int) -> List[DomainMessage]:
         """Invocations with delivery timestamp strictly greater than ts."""

@@ -167,6 +167,17 @@ class ReplicationMechanisms(Process):
             "replays": 0,
         }
 
+        # World-shared metrics, aggregated across all processors.
+        m = self.metrics
+        self._m_invocations = m.counter("eternal.invocations.executed")
+        self._m_dup_invocations = m.counter("eternal.invocations.duplicate")
+        self._m_state_updates = m.counter("eternal.state.updates")
+        self._m_checkpoints_sent = m.counter("eternal.checkpoint.multicasts")
+        self._m_replays = m.counter("fault.recovery.replays")
+        self._m_failovers = m.counter("fault.failover.count")
+        self._m_transfer_bytes = m.histogram("fault.state_transfer.bytes", unit="B")
+        self._m_recovery_duration = m.histogram("fault.recovery.duration", unit="s")
+
         totem.on_deliver(self._on_deliver)
         totem.on_membership(self._on_membership)
         self.running = True
@@ -208,6 +219,13 @@ class ReplicationMechanisms(Process):
 
     def multicast(self, message: DomainMessage) -> None:
         self.totem.multicast(message, size=message.size_hint())
+
+    def _log_for(self, group_id: int) -> GroupLog:
+        """The group's invocation log, created metrics-wired on demand."""
+        log = self.logs.get(group_id)
+        if log is None:
+            log = self.logs[group_id] = GroupLog(group_id, metrics=self.metrics)
+        return log
 
     def _respond(self, invocation: DomainMessage, reply_iiop: bytes) -> None:
         self.multicast(DomainMessage(
@@ -272,6 +290,7 @@ class ReplicationMechanisms(Process):
         existing = seen.get(key)
         if existing is not None:
             self.stats["invocations_duplicate"] += 1
+            self._m_dup_invocations.inc()
             if existing.status == "done" and existing.response_iiop is not None:
                 # Re-send the cached response: the duplicate may stem from
                 # a reinvocation whose original response was lost with a
@@ -289,8 +308,7 @@ class ReplicationMechanisms(Process):
         style = info.style
         i_execute = style.is_active or info.primary(self.live_hosts) == self.host.name
         if style.is_passive:
-            self.logs.setdefault(msg.target_group, GroupLog(msg.target_group)
-                                 ).record_invocation(msg)
+            self._log_for(msg.target_group).record_invocation(msg)
         if not i_execute:
             return  # passive backup: logged only
         self._execute(msg, record, info, request, key)
@@ -304,6 +322,7 @@ class ReplicationMechanisms(Process):
         execution = Execution(record.servant, interface, request,
                               parent_ts=msg.timestamp)
         self.stats["invocations_executed"] += 1
+        self._m_invocations.inc()
         outcome = execution.start()
         self._handle_outcome(execution, outcome, msg, info, key)
 
@@ -334,6 +353,7 @@ class ReplicationMechanisms(Process):
             return
         if info.style is ReplicationStyle.WARM_PASSIVE:
             self.stats["state_updates"] += 1
+            self._m_state_updates.inc()
             self.multicast(DomainMessage(
                 kind=MsgKind.STATE_UPDATE,
                 source_group=info.group_id,
@@ -342,9 +362,10 @@ class ReplicationMechanisms(Process):
                       "upto_ts": original.timestamp},
             ))
         elif info.style is ReplicationStyle.COLD_PASSIVE:
-            log = self.logs.setdefault(info.group_id, GroupLog(info.group_id))
+            log = self._log_for(info.group_id)
             if log.ops_since_checkpoint >= info.checkpoint_interval:
                 self.stats["checkpoints"] += 1
+                self._m_checkpoints_sent.inc()
                 self.multicast(DomainMessage(
                     kind=MsgKind.CHECKPOINT,
                     source_group=info.group_id,
@@ -617,7 +638,7 @@ class ReplicationMechanisms(Process):
             group_id=info.group_id, servant=servant,
             version=info.version, ready=ready)
         if info.style.is_passive:
-            self.logs.setdefault(info.group_id, GroupLog(info.group_id))
+            self._log_for(info.group_id)
 
     def _apply_add_replica(self, msg: DomainMessage) -> None:
         group_id = msg.data["group_id"]
@@ -640,7 +661,7 @@ class ReplicationMechanisms(Process):
             record = self.replicas.get(group_id)
             if record is not None:
                 self.stats["state_transfers_sent"] += 1
-                self.multicast(DomainMessage(
+                transfer = DomainMessage(
                     kind=MsgKind.STATE_TRANSFER,
                     source_group=group_id,
                     target_group=group_id,
@@ -652,7 +673,9 @@ class ReplicationMechanisms(Process):
                         "cut_ts": msg.timestamp,
                         "dedup": dict(self._invocations_seen.get(group_id, {})),
                     },
-                ))
+                )
+                self._m_transfer_bytes.observe(transfer.size_hint())
+                self.multicast(transfer)
 
     def _apply_remove_replica(self, msg: DomainMessage) -> None:
         group_id = msg.data["group_id"]
@@ -681,7 +704,7 @@ class ReplicationMechanisms(Process):
         # replica logs *after* the transfer, never the ops whose effects
         # the snapshot already contains.  (The donor's log itself is NOT
         # transferred: every entry predates the cut by construction.)
-        log = self.logs.setdefault(group_id, GroupLog(group_id))
+        log = self._log_for(group_id)
         log.install_checkpoint(msg.data["state"], ts=msg.data["cut_ts"],
                                version=record.version)
         record.ready = True
@@ -705,7 +728,7 @@ class ReplicationMechanisms(Process):
         group_id = msg.data.get("group_id", msg.target_group)
         if msg.target_group not in self.replicas:
             return
-        log = self.logs.setdefault(msg.target_group, GroupLog(msg.target_group))
+        log = self._log_for(msg.target_group)
         log.install_checkpoint(msg.data["state"], msg.data["upto_ts"],
                                msg.data.get("version", 1))
 
@@ -718,7 +741,7 @@ class ReplicationMechanisms(Process):
         if info.primary(self.live_hosts) == self.host.name:
             return  # the primary's own update
         record.servant.set_state(msg.data["state"])
-        log = self.logs.setdefault(group_id, GroupLog(group_id))
+        log = self._log_for(group_id)
         log.install_checkpoint(msg.data["state"], msg.data["upto_ts"])
 
     # ==================================================================
@@ -741,6 +764,21 @@ class ReplicationMechanisms(Process):
                     data={"groups": self.registry.all_groups(),
                           "for": list(newcomers)},
                 ))
+        # Recovery duration: crash to the reformation that excludes the
+        # crashed processor (service is consistent again from here on).
+        # The lowest-named incumbent records, so each departure is
+        # measured exactly once however many processors survive.
+        if previous:
+            departed = [m for m in previous if m not in members]
+            incumbents = [m for m in members if m in previous]
+            if departed and incumbents and incumbents[0] == self.host.name:
+                hosts = self.host.network.hosts
+                for name in departed:
+                    dead = hosts.get(name)
+                    if (dead is not None and not dead.alive
+                            and dead.last_crash_at is not None):
+                        self._m_recovery_duration.observe(
+                            self.scheduler.now - dead.last_crash_at)
         removed = self.registry.prune_dead_hosts(members)
         if removed:
             self.tracer.emit(self.scheduler.now, "eternal.prune",
@@ -767,9 +805,10 @@ class ReplicationMechanisms(Process):
     def _recover_as_primary(self, info: GroupInfo) -> None:
         """Cold/warm passive failover: restore state, replay the log."""
         record = self.replicas.get(info.group_id)
-        log = self.logs.setdefault(info.group_id, GroupLog(info.group_id))
+        log = self._log_for(info.group_id)
         if record is None:
             return
+        self._m_failovers.inc()
         if info.style is ReplicationStyle.COLD_PASSIVE and log.checkpoint:
             record.servant.set_state(log.checkpoint.state)
         covered = log.latest_covered_ts()
@@ -779,6 +818,7 @@ class ReplicationMechanisms(Process):
                          style=info.style.value, replayed=len(replay))
         for msg in replay:
             self.stats["replays"] += 1
+            self._m_replays.inc()
             request = decode_request(msg.iiop)
             key = dedup_key(msg.source_group, msg.client_id, msg.op_id)
             # Mark executing (we may have logged it without executing).

@@ -1,0 +1,23 @@
+"""repro.obs — metrics and instrumentation for the reproduction.
+
+One :class:`MetricsRegistry` per :class:`~repro.sim.world.World`
+(``world.metrics``) collects typed counters, gauges, and streaming
+histograms from every instrumented layer: the gateway, the Totem ring,
+the GIOP connections, and the Eternal fault handling machinery.  See
+docs/OBSERVABILITY.md for the metric catalogue and clock semantics.
+"""
+
+from .export import parse_json, render_text, to_json
+from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry, Span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "Span",
+    "parse_json",
+    "render_text",
+    "to_json",
+]

@@ -1,0 +1,64 @@
+"""Metric snapshot exporters: canonical JSON and a human-readable table.
+
+The JSON form is the determinism contract: ``to_json`` serialises a
+registry's simulated-time snapshot with sorted keys and no incidental
+whitespace, so two runs of the same seeded scenario produce
+*byte-identical* strings.  ``parse_json`` inverts it exactly
+(``parse_json(to_json(r)) == r.snapshot()``), which is what lets tests
+diff whole scenario runs instead of cherry-picked counters.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .metrics import MetricsRegistry
+
+SCHEMA_VERSION = 1
+
+
+def to_json(registry: MetricsRegistry, include_wall: bool = False) -> str:
+    """Canonical JSON rendering of the registry snapshot."""
+    document = {
+        "schema": SCHEMA_VERSION,
+        "metrics": registry.snapshot(include_wall=include_wall),
+    }
+    return json.dumps(document, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
+def parse_json(text: str) -> Dict[str, Dict[str, Any]]:
+    """Parse ``to_json`` output back to the snapshot dict it came from."""
+    document = json.loads(text)
+    if document.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported metrics schema: {document.get('schema')!r}")
+    return document["metrics"]
+
+
+def _fmt(value: Any) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def render_text(registry: MetricsRegistry, include_wall: bool = False) -> str:
+    """Aligned plain-text report, one metric per line, sorted by name."""
+    snapshot = registry.snapshot(include_wall=include_wall)
+    if not snapshot:
+        return "(no metrics recorded)"
+    width = max(len(name) for name in snapshot)
+    lines = []
+    for name, data in snapshot.items():
+        unit = f" {data['unit']}" if data.get("unit") else ""
+        if data["type"] == "histogram":
+            body = (f"count={data['count']} sum={_fmt(data['sum'])}"
+                    f" min={_fmt(data['min'])} p50={_fmt(data['p50'])}"
+                    f" p95={_fmt(data['p95'])} p99={_fmt(data['p99'])}"
+                    f" max={_fmt(data['max'])}")
+        else:
+            body = f"{_fmt(data['value'])}{unit}"
+        lines.append(f"{name:<{width}}  {data['type']:<9} {body}")
+    return "\n".join(lines)

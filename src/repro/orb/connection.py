@@ -30,6 +30,23 @@ from ..sim.tcp import TcpEndpoint, TcpStack
 ReplyHandler = Callable[[ReplyMessage], None]
 FailureHandler = Callable[[Exception], None]
 
+# Metric-name suffixes for giop.msg.<type> counters.
+_MSG_TYPE_NAMES = {
+    MsgType.REQUEST: "request",
+    MsgType.REPLY: "reply",
+    MsgType.CANCEL_REQUEST: "cancel_request",
+    MsgType.LOCATE_REQUEST: "locate_request",
+    MsgType.LOCATE_REPLY: "locate_reply",
+    MsgType.CLOSE_CONNECTION: "close_connection",
+    MsgType.MESSAGE_ERROR: "message_error",
+}
+
+
+def _count_message_type(metrics, message_type: int) -> None:
+    name = _MSG_TYPE_NAMES.get(message_type)
+    if name is not None:
+        metrics.counter(f"giop.msg.{name}").inc()
+
 
 class IiopClientConnection:
     """Client side of one IIOP connection (lazy connect, reply routing)."""
@@ -48,6 +65,9 @@ class IiopClientConnection:
         self._send_queue: List[bytes] = []
         self._pending: Dict[int, Tuple[ReplyHandler, FailureHandler]] = {}
         self._closed_listeners: List[Callable[[], None]] = []
+        self._metrics = tcp.network.metrics
+        self._m_bytes_out = self._metrics.counter("giop.bytes.out", unit="B")
+        self._m_bytes_in = self._metrics.counter("giop.bytes.in", unit="B")
         tcp.connect(host, address, self._on_connected, self._on_connect_error)
 
     # ------------------------------------------------------------------
@@ -119,6 +139,9 @@ class IiopClientConnection:
         return list(self._pending)
 
     def _transmit(self, data: bytes) -> None:
+        # Queued bytes count too: they are committed to the wire once
+        # the connect completes (or the whole connection fails).
+        self._m_bytes_out.inc(len(data))
         if self.state == IiopClientConnection.OPEN:
             assert self.endpoint is not None
             self.endpoint.send(data)
@@ -126,6 +149,7 @@ class IiopClientConnection:
             self._send_queue.append(data)
 
     def _on_data(self, data: bytes) -> None:
+        self._m_bytes_in.inc(len(data))
         try:
             messages = self._framer.feed(data)
         except MarshalError:
@@ -135,6 +159,7 @@ class IiopClientConnection:
             return
         for message in messages:
             message_type, _, _ = parse_header(message)
+            _count_message_type(self._metrics, message_type)
             if message_type == MsgType.REPLY:
                 try:
                     reply = decode_reply(message)
@@ -164,6 +189,9 @@ class IiopServerConnection:
         self.handler = handler
         self._framer = GiopFramer()
         self._close_cb = on_close
+        self._metrics = endpoint.stack.network.metrics
+        self._m_bytes_out = self._metrics.counter("giop.bytes.out", unit="B")
+        self._m_bytes_in = self._metrics.counter("giop.bytes.in", unit="B")
         endpoint.on_data = self._on_data
         endpoint.on_close = self._on_close
 
@@ -173,6 +201,7 @@ class IiopServerConnection:
 
     def send(self, data: bytes) -> None:
         if self.endpoint.open:
+            self._m_bytes_out.inc(len(data))
             self.endpoint.send(data)
 
     def close(self) -> None:
@@ -180,6 +209,7 @@ class IiopServerConnection:
             self.endpoint.close()
 
     def _on_data(self, data: bytes) -> None:
+        self._m_bytes_in.inc(len(data))
         try:
             messages = self._framer.feed(data)
         except MarshalError:
@@ -189,6 +219,8 @@ class IiopServerConnection:
             self.close()
             return
         for message in messages:
+            message_type, _, _ = parse_header(message)
+            _count_message_type(self._metrics, message_type)
             try:
                 self.handler(message, self)
             except MarshalError:

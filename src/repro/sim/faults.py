@@ -22,12 +22,17 @@ class FaultInjector:
         self.scheduler = scheduler
         self.network = network
         self.injected: List[Tuple[float, str, str]] = []
+        self._metrics = network.metrics
+
+    def _record(self, action: str, target: str) -> None:
+        self.injected.append((self.scheduler.now, action, target))
+        self._metrics.counter(f"fault.injected.{action}").inc()
 
     def crash_host(self, host_name: str, at: float) -> Timer:
         """Fail-stop ``host_name`` at absolute simulated time ``at``."""
 
         def do_crash() -> None:
-            self.injected.append((self.scheduler.now, "crash", host_name))
+            self._record("crash", host_name)
             self.network.host(host_name).crash()
 
         return self.scheduler.call_at(at, do_crash)
@@ -36,17 +41,17 @@ class FaultInjector:
         """Recover ``host_name`` at absolute simulated time ``at``."""
 
         def do_recover() -> None:
-            self.injected.append((self.scheduler.now, "recover", host_name))
+            self._record("recover", host_name)
             self.network.host(host_name).recover()
 
         return self.scheduler.call_at(at, do_recover)
 
     def crash_now(self, host_name: str) -> None:
-        self.injected.append((self.scheduler.now, "crash", host_name))
+        self._record("crash", host_name)
         self.network.host(host_name).crash()
 
     def recover_now(self, host_name: str) -> None:
-        self.injected.append((self.scheduler.now, "recover", host_name))
+        self._record("recover", host_name)
         self.network.host(host_name).recover()
 
     def partition(self, side_a: Iterable[str], side_b: Iterable[str],
@@ -56,11 +61,11 @@ class FaultInjector:
         b: Set[str] = set(side_b)
 
         def install() -> None:
-            self.injected.append((self.scheduler.now, "partition", f"{sorted(a)}|{sorted(b)}"))
+            self._record("partition", f"{sorted(a)}|{sorted(b)}")
             self.network.partition(a, b)
 
         def heal() -> None:
-            self.injected.append((self.scheduler.now, "heal", ""))
+            self._record("heal", "")
             self.network.heal_partitions()
 
         self.scheduler.call_at(at, install)

@@ -34,6 +34,9 @@ class Host:
         self.alive = True
         self.processes: List["Process"] = []
         self.crash_count = 0
+        # Simulated time of the most recent crash; failure detection and
+        # recovery metrics measure from this instant.
+        self.last_crash_at: Any = None
         self._crash_listeners: List[Callable[["Host"], None]] = []
         self._recovery_listeners: List[Callable[["Host"], None]] = []
 
@@ -67,6 +70,8 @@ class Host:
             return
         self.alive = False
         self.crash_count += 1
+        self.last_crash_at = self.scheduler.now
+        self.network.metrics.counter("host.crashes").inc()
         for process in list(self.processes):
             process.handle_host_crash()
         self.network.host_crashed(self)
@@ -114,6 +119,11 @@ class Process:
     @property
     def scheduler(self) -> Scheduler:
         return self.host.scheduler
+
+    @property
+    def metrics(self):
+        """The world-shared :class:`~repro.obs.MetricsRegistry`."""
+        return self.host.network.metrics
 
     @property
     def alive(self) -> bool:

@@ -18,6 +18,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..obs import MetricsRegistry
 from .host import Host
 from .scheduler import Scheduler
 from .trace import Tracer
@@ -68,10 +69,18 @@ class Network:
         scheduler: Scheduler,
         latency_model: Optional[LatencyModel] = None,
         tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.scheduler = scheduler
         self.latency_model = latency_model or LatencyModel()
         self.tracer = tracer or Tracer(enabled=False)
+        # The world-owned registry; every Host/Process reaches it through
+        # the network, so one scenario shares one set of metrics.
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            clock=lambda: scheduler.now)
+        self._m_sent = self.metrics.counter("net.datagrams.sent")
+        self._m_delivered = self.metrics.counter("net.datagrams.delivered")
+        self._m_bytes = self.metrics.counter("net.bytes.sent", unit="B")
         self.hosts: Dict[str, Host] = {}
         self._partitions: List[Tuple[Set[str], Set[str]]] = []
         self._crash_handlers: List[Callable[[Host], None]] = []
@@ -137,6 +146,8 @@ class Network:
         """
         self.datagrams_sent += 1
         self.bytes_sent += size
+        self._m_sent.inc()
+        self._m_bytes.inc(size)
         if not src.alive:
             return
         if not self.can_communicate(src.name, dst.name):
@@ -149,6 +160,7 @@ class Network:
             if not self.can_communicate(src.name, dst.name):
                 return
             self.datagrams_delivered += 1
+            self._m_delivered.inc()
             deliver(payload)
 
         self.scheduler.call_after(delay, arrive)

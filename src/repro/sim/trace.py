@@ -21,7 +21,18 @@ class TraceRecord(NamedTuple):
 
 
 class Tracer:
-    """Append-only trace log with category filtering and counters."""
+    """Append-only trace log with category filtering and counters.
+
+    The contract, relied on by tests and by the metrics layer:
+
+    * **Counters always count.**  Every ``emit`` bumps the category
+      counter, regardless of ``enabled`` and of any category filter, so
+      ``count()`` is a complete census of emitted events and stays
+      comparable with :class:`~repro.obs.MetricsRegistry` counters.
+    * **Records obey both switches.**  A record is retained only when
+      the tracer is ``enabled`` *and* the category passes the filter
+      (no filter means all categories pass).
+    """
 
     def __init__(self, enabled: bool = True, categories: Optional[Iterable[str]] = None):
         self.enabled = enabled
@@ -37,7 +48,11 @@ class Tracer:
         message: str,
         **data: Any,
     ) -> None:
-        """Record one trace event and bump the category counter."""
+        """Record one trace event.
+
+        The category counter is bumped unconditionally; the record is
+        kept only when ``enabled`` and the category passes the filter
+        (see the class docstring for the full contract)."""
         self.counters[category] = self.counters.get(category, 0) + 1
         if not self.enabled:
             return
@@ -58,8 +73,17 @@ class Tracer:
         self.counters.clear()
 
     def dump(self, limit: Optional[int] = None) -> str:
-        """Human-readable rendering of the trace (most recent last)."""
-        rows = self.records if limit is None else self.records[-limit:]
+        """Human-readable rendering of the trace (most recent last).
+
+        ``limit`` keeps only the most recent ``limit`` records; 0 keeps
+        none (previously ``limit=0`` returned the *entire* log, because
+        ``records[-0:]`` is the whole list)."""
+        if limit is None:
+            rows = self.records
+        elif limit <= 0:
+            rows = []
+        else:
+            rows = self.records[-limit:]
         lines = []
         for r in rows:
             extra = " ".join(f"{k}={v!r}" for k, v in r.data.items())

@@ -15,6 +15,7 @@ import random
 from typing import Any, Iterable, Optional
 
 from ..errors import SimulationError
+from ..obs import MetricsRegistry, render_text, to_json
 from .faults import FaultInjector
 from .host import Host
 from .network import LatencyModel, Network
@@ -96,8 +97,11 @@ class World:
     ) -> None:
         self.scheduler = Scheduler()
         self.tracer = Tracer(enabled=trace)
+        # One registry per world: the simulated clock is the scheduler,
+        # and every component reads the same registry via its network.
+        self.metrics = MetricsRegistry(clock=lambda: self.scheduler.now)
         self.network = Network(self.scheduler, latency_model=latency_model,
-                               tracer=self.tracer)
+                               tracer=self.tracer, metrics=self.metrics)
         self.tcp = TcpStack(self.network, mtu=mtu)
         self.faults = FaultInjector(self.scheduler, self.network)
         self.rng = random.Random(seed)
@@ -106,6 +110,15 @@ class World:
     @property
     def now(self) -> float:
         return self.scheduler.now
+
+    def metrics_json(self, include_wall: bool = False) -> str:
+        """Canonical JSON snapshot (byte-identical across seeded reruns
+        when ``include_wall`` is False)."""
+        return to_json(self.metrics, include_wall=include_wall)
+
+    def metrics_report(self, include_wall: bool = False) -> str:
+        """Human-readable metrics table for this world."""
+        return render_text(self.metrics, include_wall=include_wall)
 
     def add_host(self, name: str, site: Optional[str] = None) -> Host:
         return self.network.add_host(name, site=site)

@@ -118,6 +118,18 @@ class TotemMember(Process):
             "reformations": 0, "retransmits": 0, "gaps_skipped": 0,
         }
 
+        # World-shared metrics, aggregated across all ring members.
+        m = self.metrics
+        self._m_delivered = m.counter("totem.msg.delivered")
+        self._m_sent = m.counter("totem.msg.sent")
+        self._m_token_passes = m.counter("totem.token.passes")
+        self._m_rotations = m.counter("totem.token.rotation")
+        self._m_retransmits = m.counter("totem.retransmit.count")
+        self._m_gaps = m.counter("totem.gap.skipped")
+        self._m_reformations = m.counter("totem.ring.reformations")
+        self._m_token_loss = m.counter("totem.token.loss")
+        self._m_detect_latency = m.histogram("fault.detection.latency", unit="s")
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -193,6 +205,7 @@ class TotemMember(Process):
             self.my_aru = seq
             self._gap_age.pop(seq, None)
             self.stats["delivered"] += 1
+            self._m_delivered.inc()
             for fn in list(self._deliver_listeners):
                 fn(msg.seq, msg.sender, msg.payload)
             if self._safe_listeners:
@@ -208,6 +221,7 @@ class TotemMember(Process):
         if self.state != TotemMember.OPERATIONAL or token.ring_id != self.ring_id:
             return
         self.stats["token_passes"] += 1
+        self._m_token_passes.inc()
         self._reset_loss_timer()
 
         # 1. Serve retransmission requests we can satisfy.
@@ -217,6 +231,9 @@ class TotemMember(Process):
                 if stored is not None:
                     token.rtr.discard(seq)
                     self.stats["retransmits"] += 1
+                    self._m_retransmits.inc()
+                    self.tracer.emit(self.scheduler.now, "totem.retransmit",
+                                     self.name, f"retransmitting seq {seq}")
                     self.transport.broadcast(self, stored, size=stored.size_hint)
 
         # 2. Request retransmission of our own gaps; age them out when
@@ -237,6 +254,7 @@ class TotemMember(Process):
             token.seq += 1
             msg = RegularMessage(self.ring_id, token.seq, self.name, payload, size)
             self.stats["sent"] += 1
+            self._m_sent.inc()
             self.transport.broadcast(self, msg, size=size)
             quota -= 1
 
@@ -245,6 +263,7 @@ class TotemMember(Process):
         token.aru_candidate = min(token.aru_candidate, self.my_aru)
         if self.members and self.name == self.members[0]:
             token.rotation += 1
+            self._m_rotations.inc()
             token.aru = max(token.aru, token.aru_candidate)
             token.aru_candidate = self.my_aru
         # Every member truncates its retransmission store at stability:
@@ -282,6 +301,7 @@ class TotemMember(Process):
         if seq != self.delivered_up_to + 1:
             return  # only skip at the delivery frontier
         self.stats["gaps_skipped"] += 1
+        self._m_gaps.inc()
         self._gap_age.pop(seq, None)
         self.tracer.emit(self.scheduler.now, "totem.gap_skipped", self.name,
                          f"skipping unrecoverable seq {seq}")
@@ -314,9 +334,27 @@ class TotemMember(Process):
     def _on_token_loss(self) -> None:
         if self.state != TotemMember.OPERATIONAL:
             return
+        self._m_token_loss.inc()
         self.tracer.emit(self.scheduler.now, "totem.token_loss", self.name,
                          "token loss timeout")
+        self._observe_detection_latency()
         self._enter_gather("token loss")
+
+    def _observe_detection_latency(self) -> None:
+        """Measure crash-to-detection time at the token-loss timeout.
+
+        Token loss is Totem's failure detector: the elapsed time since
+        the most recent crash among current ring members is the latency
+        with which this member detected that crash."""
+        hosts = self.host.network.hosts
+        crash_times = [
+            hosts[name].last_crash_at
+            for name in self.members
+            if name in hosts and not hosts[name].alive
+            and hosts[name].last_crash_at is not None
+        ]
+        if crash_times:
+            self._m_detect_latency.observe(self.scheduler.now - max(crash_times))
 
     # ------------------------------------------------------------------
     # Membership: gather and commit
@@ -434,6 +472,7 @@ class TotemMember(Process):
         self._max_ring_gen = commit.ring_id[0]
         self._gap_age.clear()
         self.stats["reformations"] += 1
+        self._m_reformations.inc()
         self.tracer.emit(self.scheduler.now, "totem.install", self.name,
                          f"ring {commit.ring_id} installed",
                          members=list(commit.members),

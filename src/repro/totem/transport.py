@@ -27,6 +27,9 @@ class TotemTransport:
         self._members: Dict[str, "TotemMember"] = {}
         self.broadcasts = 0
         self.datagrams = 0
+        self._m_broadcasts = network.metrics.counter("totem.broadcasts")
+        self._m_datagrams = network.metrics.counter("totem.datagrams")
+        self._m_bytes = network.metrics.counter("totem.bytes.broadcast", unit="B")
 
     def register(self, member: "TotemMember") -> None:
         self._members[member.name] = member
@@ -50,6 +53,7 @@ class TotemTransport:
         if target is None:
             return
         self.datagrams += 1
+        self._m_datagrams.inc()
         self.network.send(
             sender.host, target.host, message,
             lambda msg, t=target: t.receive(msg), size=size,
@@ -59,8 +63,11 @@ class TotemTransport:
                   size: int = 64) -> None:
         """Send ``message`` to every registered member (including sender)."""
         self.broadcasts += 1
+        self._m_broadcasts.inc()
+        self._m_bytes.inc(size)
         for target in list(self._members.values()):
             self.datagrams += 1
+            self._m_datagrams.inc()
             self.network.send(
                 sender.host, target.host, message,
                 lambda msg, t=target: t.receive(msg), size=size,

@@ -23,5 +23,23 @@ def test_example_runs_cleanly(script, capsys):
 
 def test_module_entry_point(capsys):
     from repro.__main__ import main
-    assert main() == 0
+    assert main([]) == 0
     assert "replica agreement: OK" in capsys.readouterr().out
+
+
+def test_module_entry_point_metrics_flag(capsys):
+    from repro.__main__ import main
+    assert main(["--metrics"]) == 0
+    out = capsys.readouterr().out
+    assert "metrics registry:" in out
+    assert "gateway.req.latency" in out
+
+
+def test_module_entry_point_metrics_json_deterministic(capsys):
+    from repro.__main__ import main
+    assert main(["--metrics-json", "--seed", "7"]) == 0
+    first = capsys.readouterr().out.splitlines()[-1]
+    assert main(["--metrics-json", "--seed", "7"]) == 0
+    second = capsys.readouterr().out.splitlines()[-1]
+    assert first.startswith('{"metrics":')
+    assert first == second

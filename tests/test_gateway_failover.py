@@ -190,6 +190,44 @@ def test_all_gateways_dead_enhanced_client_gives_up(world):
         world.await_promise(stub.call("increment", 1), timeout=600)
 
 
+def test_gateway_crash_metrics(world):
+    """The failover is visible end to end in the metrics registry:
+    detection latency is positive and bounded by the failure-detection
+    period (token loss timeout) times a small rotation factor, recovery
+    duration is recorded exactly once, and the gateway response
+    counters partition receipts exactly."""
+    domain = make_domain(world, gateways=2)
+    group = make_counter_group(domain)
+    _, stub, _ = external_client(world, domain, group, enhanced=True)
+    world.await_promise(stub.call("increment", 1))
+    world.faults.crash_now(domain.gateways[0].host.name)
+    assert world.await_promise(stub.call("increment", 1), timeout=240) == 2
+    world.run(until=world.now + 1.0)
+
+    m = world.metrics
+    detection = m.histogram("fault.detection.latency")
+    loss_timeout = next(iter(domain.members.values())).config.token_loss_timeout
+    assert detection.count >= 1  # every surviving ring member detects
+    assert detection.min > 0
+    assert detection.max < loss_timeout * 4
+
+    recovery = m.histogram("fault.recovery.duration")
+    assert recovery.count == 1  # one crash, measured exactly once
+    assert 0 < recovery.min < 1.0
+
+    received = m.value("gateway.resp.received")
+    assert received == (m.value("gateway.dup.suppressed")
+                        + m.value("gateway.resp.unexpected")
+                        + m.value("gateway.resp.vote_pending")
+                        + m.value("gateway.resp.delivered")
+                        + m.value("gateway.resp.unroutable"))
+
+    latency = m.histogram("gateway.req.latency")
+    assert latency.count == m.value("gateway.resp.delivered")
+    assert latency.count >= 2
+    assert m.value("host.crashes") == 1
+
+
 def test_gateway_crash_leaves_domain_consistent(world):
     domain = make_domain(world, gateways=2, totem_config=SLOW_TOTEM)
     group = make_counter_group(domain)

@@ -1,0 +1,240 @@
+"""Unit and property-based tests for the repro.obs metrics layer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_json,
+    render_text,
+    to_json,
+)
+
+
+# ----------------------------------------------------------------------
+# Names
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", [
+    "gateway.req.latency", "totem.token.rotation", "a", "a_b.c0",
+])
+def test_valid_names_accepted(name):
+    assert MetricsRegistry().counter(name).name == name
+
+
+@pytest.mark.parametrize("name", [
+    "", ".", "a.", ".a", "a..b", "A.b", "a-b", "a b", "giop.msg.Reply",
+])
+def test_invalid_names_rejected(name):
+    with pytest.raises(ConfigurationError):
+        MetricsRegistry().counter(name)
+
+
+# ----------------------------------------------------------------------
+# Counter / gauge semantics
+# ----------------------------------------------------------------------
+
+def test_counter_monotonic():
+    c = Counter("t.c")
+    assert c.value == 0
+    c.inc()
+    c.inc(5)
+    assert c.value == 6
+    with pytest.raises(ValueError):
+        c.inc(-1)
+    assert c.value == 6
+    assert c.snapshot() == {"type": "counter", "unit": "", "value": 6}
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("t.g", unit="conn")
+    g.set(10)
+    g.inc(2)
+    g.dec(5)
+    assert g.value == 7
+    assert g.snapshot() == {"type": "gauge", "unit": "conn", "value": 7}
+
+
+def test_registry_interns_and_checks_types():
+    registry = MetricsRegistry()
+    c1 = registry.counter("x.y")
+    assert registry.counter("x.y") is c1
+    with pytest.raises(ConfigurationError):
+        registry.gauge("x.y")
+    with pytest.raises(ConfigurationError):
+        registry.counter("x.y", wall=True)
+    assert registry.names() == ["x.y"]
+    assert registry.get("x.y") is c1
+    assert registry.get("missing") is None
+
+
+def test_registry_value_convenience():
+    registry = MetricsRegistry()
+    assert registry.value("absent.counter") == 0
+    registry.counter("a.b").inc(3)
+    assert registry.value("a.b") == 3
+    registry.histogram("h.h").observe(1.0)
+    with pytest.raises(ConfigurationError):
+        registry.value("h.h")
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+
+def test_histogram_empty():
+    h = Histogram("t.h")
+    assert h.count == 0
+    assert h.quantile(0.5) is None
+    assert h.mean is None
+    snap = h.snapshot()
+    assert snap["count"] == 0 and snap["p50"] is None
+
+
+def test_histogram_clamps_negative_and_nan():
+    h = Histogram("t.h")
+    h.observe(-5.0)
+    h.observe(float("nan"))
+    assert h.count == 2
+    assert h.min == 0.0 and h.max == 0.0
+    assert h.quantile(0.99) == 0.0
+
+
+def test_histogram_single_value_quantiles_exact():
+    h = Histogram("t.h")
+    h.observe(0.125)
+    for q in (0.01, 0.5, 0.95, 1.0):
+        # Clamping to [min, max] collapses the estimate to the value.
+        assert h.quantile(q) == pytest.approx(0.125)
+
+
+def _exact_quantile(values, q):
+    """Rank convention matched by Histogram.quantile: the ceil(q*n)-th
+    smallest observation (1-indexed)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False),
+        min_size=1, max_size=300),
+    q=st.sampled_from([0.25, 0.5, 0.9, 0.95, 0.99, 1.0]),
+)
+def test_histogram_quantile_bounded_error(values, q):
+    h = Histogram("t.h")
+    for v in values:
+        h.observe(v)
+    exact = _exact_quantile(values, q)
+    estimate = h.quantile(q)
+    # The estimate interpolates within the bucket holding the exact
+    # rank, so the error is bounded by that bucket's width.
+    bound = max(Histogram.BASE, exact * (Histogram.GROWTH - 1))
+    assert abs(estimate - exact) <= bound * (1 + 1e-9) + 1e-12
+    assert h.min <= estimate <= h.max
+
+
+@given(values=st.lists(
+    st.floats(min_value=0.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=300))
+def test_histogram_aggregates_exact(values):
+    h = Histogram("t.h")
+    for v in values:
+        h.observe(v)
+    assert h.count == len(values)
+    assert h.sum == pytest.approx(math.fsum(values))
+    assert h.min == min(values)
+    assert h.max == max(values)
+
+
+# ----------------------------------------------------------------------
+# Timing helpers
+# ----------------------------------------------------------------------
+
+def test_timer_and_span_use_registry_clock():
+    fake = [0.0]
+    registry = MetricsRegistry(clock=lambda: fake[0])
+    with registry.timer("t.block"):
+        fake[0] = 1.5
+    h = registry.histogram("t.block")
+    assert h.count == 1 and h.sum == pytest.approx(1.5)
+
+    span = registry.span("t.span")
+    fake[0] = 4.0
+    assert span.stop() == pytest.approx(2.5)
+    fake[0] = 9.0
+    # stop() is idempotent: the second call reports but does not record.
+    span.stop()
+    assert registry.histogram("t.span").count == 1
+    assert registry.now == 9.0
+
+
+def test_wall_metrics_excluded_from_default_snapshot():
+    registry = MetricsRegistry(clock=lambda: 0.0, wall_clock=lambda: 0.0)
+    registry.counter("sim.events").inc()
+    registry.counter("wall.elapsed", wall=True).inc()
+    assert set(registry.snapshot()) == {"sim.events"}
+    assert set(registry.snapshot(include_wall=True)) == {
+        "sim.events", "wall.elapsed"}
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+def test_json_round_trip_simple():
+    registry = MetricsRegistry()
+    registry.counter("a.count", unit="B").inc(42)
+    registry.gauge("b.depth").set(-3)
+    registry.histogram("c.latency").observe(0.25)
+    assert parse_json(to_json(registry)) == registry.snapshot()
+
+
+def test_json_is_canonical_and_versioned():
+    registry = MetricsRegistry()
+    registry.counter("z.last").inc()
+    registry.counter("a.first").inc()
+    text = to_json(registry)
+    assert text.index('"a.first"') < text.index('"z.last"')
+    assert '"schema":1' in text
+    with pytest.raises(ValueError):
+        parse_json('{"schema":99,"metrics":{}}')
+
+
+@given(counts=st.dictionaries(
+    st.sampled_from(["a.x", "b.y", "c.z"]),
+    st.integers(min_value=0, max_value=10**9), max_size=3),
+    observations=st.lists(
+        st.floats(min_value=0.0, max_value=1e6,
+                  allow_nan=False, allow_infinity=False), max_size=50))
+def test_json_round_trip_property(counts, observations):
+    registry = MetricsRegistry()
+    for name, value in counts.items():
+        registry.counter(name).inc(value)
+    h = registry.histogram("h.obs")
+    for v in observations:
+        h.observe(v)
+    assert parse_json(to_json(registry)) == registry.snapshot()
+
+
+def test_render_text_lists_every_metric():
+    registry = MetricsRegistry()
+    assert render_text(registry) == "(no metrics recorded)"
+    registry.counter("a.count", unit="B").inc(7)
+    registry.histogram("b.latency").observe(0.5)
+    text = render_text(registry)
+    lines = text.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("a.count") and "7 B" in lines[0]
+    assert "count=1" in lines[1] and "p50=0.5" in lines[1]

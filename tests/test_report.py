@@ -59,4 +59,4 @@ def test_format_report_is_readable(world):
 
 def test_module_demo_runs():
     from repro.__main__ import main
-    assert main() == 0
+    assert main([]) == 0
