@@ -65,6 +65,11 @@ class _PendingRequest:
     # client socket; None for records reconstructed from mirrors (the
     # mirror observer never saw the request arrive).
     received_at: float = None  # type: ignore[assignment]
+    # The INVOCATION message built on first forward and reused for
+    # takeover re-forwards: its payload (marshalled request bytes and
+    # header fields) never changes between forwards, so there is no
+    # reason to rebuild and re-weigh it per forward.
+    forward_message: "DomainMessage" = None  # type: ignore[assignment]
 
 
 class Gateway(Process):
@@ -312,14 +317,17 @@ class Gateway(Process):
         from ..eternal.naming import GATEWAY_GROUP
         self.stats["requests_forwarded"] += 1
         self._m_req_forwarded.inc()
-        self.rm.multicast(DomainMessage(
-            kind=MsgKind.INVOCATION,
-            source_group=GATEWAY_GROUP,
-            target_group=pending.target_group,
-            client_id=pending.client_id,
-            op_id=pending.op_id,
-            iiop=pending.iiop,
-        ))
+        message = pending.forward_message
+        if message is None:
+            message = pending.forward_message = DomainMessage(
+                kind=MsgKind.INVOCATION,
+                source_group=GATEWAY_GROUP,
+                target_group=pending.target_group,
+                client_id=pending.client_id,
+                op_id=pending.op_id,
+                iiop=pending.iiop,
+            )
+        self.rm.multicast(message)
 
     def _identify_client(self, request, connection: IiopServerConnection,
                          target_group: int) -> ClientId:

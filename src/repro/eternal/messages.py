@@ -70,6 +70,7 @@ class DomainMessage:
     timestamp: int = 0
     iiop: bytes = b""
     data: Dict[str, Any] = field(default_factory=dict)
+    _size_hint: Optional[int] = field(default=None, repr=False, compare=False)
 
     def size_hint(self) -> int:
         """Approximate wire size, for network accounting.
@@ -77,10 +78,16 @@ class DomainMessage:
         Counts the IIOP payload exactly and bytes-like values inside
         control data (checkpoints/state transfers carry real state), so
         traffic measurements reflect what a serialised message would
-        weigh."""
-        size = 40 + len(self.iiop)
-        for value in self.data.values():
-            size += _value_weight(value)
+        weigh.  The payload never changes after construction (only
+        ``timestamp`` is stamped at delivery, and it does not affect
+        the weight), so the walk is done once and cached — messages
+        multicast to N members are weighed once, not N times."""
+        size = self._size_hint
+        if size is None:
+            size = 40 + len(self.iiop)
+            for value in self.data.values():
+                size += _value_weight(value)
+            self._size_hint = size
         return size
 
     def describe(self) -> str:

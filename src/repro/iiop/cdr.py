@@ -8,7 +8,18 @@ octet sequences, and nested encapsulations (which restart alignment and
 carry their own endianness octet).
 
 The gateway genuinely decodes these bytes off a simulated TCP stream,
-so correctness here is load-bearing for the whole reproduction.
+so correctness here is load-bearing for the whole reproduction — and
+because every request and reply crosses this code at least twice, it is
+also one of the hottest wall-clock paths in the simulator.  Two
+optimisations keep it fast without changing a single wire byte:
+
+* every primitive codec is a precompiled :class:`struct.Struct` (one
+  per (kind, byte order)), so encoding never rebuilds a format string
+  and decoding uses ``unpack_from`` straight off the underlying buffer
+  — no per-read slice allocation;
+* :class:`CdrInputStream` accepts any bytes-like object (``bytes``,
+  ``bytearray``, ``memoryview``), which lets callers hand it borrowed
+  views of larger buffers instead of copies.
 """
 
 from __future__ import annotations
@@ -33,6 +44,14 @@ _FORMATS = {
     "float": "f", "double": "d",
 }
 
+# Precompiled codecs: (kind, little_endian) -> struct.Struct.  Built
+# once at import; every numeric read/write goes through these.
+_CODECS = {
+    (kind, little): struct.Struct(("<" if little else ">") + fmt)
+    for kind, fmt in _FORMATS.items()
+    for little in (False, True)
+}
+
 
 class CdrOutputStream:
     """Append-only CDR encoder."""
@@ -46,6 +65,11 @@ class CdrOutputStream:
 
     def getvalue(self) -> bytes:
         return bytes(self._buffer)
+
+    def getvalue_from(self, offset: int) -> bytes:
+        """The encoded bytes from ``offset`` on, in a single copy."""
+        with memoryview(self._buffer) as view:
+            return bytes(view[offset:])
 
     # -- alignment ------------------------------------------------------
 
@@ -71,9 +95,9 @@ class CdrOutputStream:
 
     def _write_numeric(self, kind: str, value) -> None:
         self.align(_ALIGNMENT[kind])
-        prefix = "<" if self.little_endian else ">"
+        codec = _CODECS[kind, self.little_endian]
         try:
-            self._buffer.extend(struct.pack(prefix + _FORMATS[kind], value))
+            self._buffer.extend(codec.pack(value))
         except struct.error as exc:
             raise MarshalError(f"cannot encode {kind} {value!r}: {exc}") from exc
 
@@ -121,6 +145,17 @@ class CdrOutputStream:
         """Raw bytes with no length prefix (already-encoded material)."""
         self._buffer.extend(value)
 
+    def patch_raw(self, offset: int, value: bytes) -> None:
+        """Overwrite already-written bytes in place (e.g. a reserved
+        header slot filled in once the body length is known)."""
+        end = offset + len(value)
+        if offset < 0 or end > len(self._buffer):
+            raise MarshalError(
+                f"patch of {len(value)} bytes at {offset} outside stream "
+                f"of {len(self._buffer)}"
+            )
+        self._buffer[offset:end] = value
+
     def write_encapsulation(self, build_fn) -> None:
         """Write a CDR encapsulation produced by ``build_fn(inner_stream)``.
 
@@ -134,10 +169,17 @@ class CdrOutputStream:
 
 
 class CdrInputStream:
-    """Cursor-based CDR decoder over immutable bytes."""
+    """Cursor-based CDR decoder over any immutable bytes-like buffer.
 
-    def __init__(self, data: bytes, little_endian: bool = False) -> None:
+    Numeric reads decode in place with precompiled ``unpack_from``
+    codecs — the cursor moves, but no intermediate slice is allocated.
+    ``bytes``-returning reads (strings, octet sequences, raw spans)
+    still copy, because their results outlive the stream.
+    """
+
+    def __init__(self, data, little_endian: bool = False) -> None:
         self._data = data
+        self._len = len(data)
         self._pos = 0
         self.little_endian = little_endian
 
@@ -147,7 +189,7 @@ class CdrInputStream:
 
     @property
     def remaining(self) -> int:
-        return len(self._data) - self._pos
+        return self._len - self._pos
 
     def align(self, boundary: int) -> None:
         remainder = self._pos % boundary
@@ -157,31 +199,43 @@ class CdrInputStream:
     def _take(self, count: int) -> bytes:
         if count < 0:
             raise MarshalError(f"negative CDR read of {count} bytes")
-        if self._pos + count > len(self._data):
+        pos = self._pos
+        if pos + count > self._len:
             raise MarshalError(
-                f"CDR underflow: need {count} bytes at {self._pos}, have {len(self._data)}"
+                f"CDR underflow: need {count} bytes at {pos}, have {self._len}"
             )
-        chunk = self._data[self._pos:self._pos + count]
-        self._pos += count
-        return chunk
+        chunk = self._data[pos:pos + count]
+        self._pos = pos + count
+        return chunk if type(chunk) is bytes else bytes(chunk)
 
     # -- primitives -----------------------------------------------------
 
     def read_octet(self) -> int:
-        return self._take(1)[0]
+        pos = self._pos
+        if pos >= self._len:
+            raise MarshalError(
+                f"CDR underflow: need 1 byte at {pos}, have {self._len}")
+        self._pos = pos + 1
+        return self._data[pos]
 
     def read_boolean(self) -> bool:
-        return self._take(1)[0] != 0
+        return self.read_octet() != 0
 
     def read_char(self) -> str:
         return self._take(1).decode("latin-1")
 
     def _read_numeric(self, kind: str):
         self.align(_ALIGNMENT[kind])
-        prefix = "<" if self.little_endian else ">"
-        fmt = _FORMATS[kind]
-        raw = self._take(struct.calcsize(fmt))
-        return struct.unpack(prefix + fmt, raw)[0]
+        codec = _CODECS[kind, self.little_endian]
+        pos = self._pos
+        end = pos + codec.size
+        if end > self._len:
+            raise MarshalError(
+                f"CDR underflow: need {codec.size} bytes at {pos}, "
+                f"have {self._len}"
+            )
+        self._pos = end
+        return codec.unpack_from(self._data, pos)[0]
 
     def read_short(self) -> int:
         return self._read_numeric("short")
@@ -224,6 +278,17 @@ class CdrInputStream:
 
     def read_raw(self, count: int) -> bytes:
         return self._take(count)
+
+    def skip(self, count: int) -> None:
+        """Advance the cursor without materialising the spanned bytes."""
+        if count < 0:
+            raise MarshalError(f"negative CDR skip of {count} bytes")
+        if self._pos + count > self._len:
+            raise MarshalError(
+                f"CDR underflow: need {count} bytes at {self._pos}, "
+                f"have {self._len}"
+            )
+        self._pos += count
 
     def read_encapsulation(self) -> "CdrInputStream":
         """Read an octet-sequence encapsulation; returns an inner stream

@@ -68,6 +68,8 @@ class IiopClientConnection:
         self._metrics = tcp.network.metrics
         self._m_bytes_out = self._metrics.counter("giop.bytes.out", unit="B")
         self._m_bytes_in = self._metrics.counter("giop.bytes.in", unit="B")
+        self._framer.counter = self._metrics.counter("giop.bytes.zero_copy",
+                                                     unit="B")
         tcp.connect(host, address, self._on_connected, self._on_connect_error)
 
     # ------------------------------------------------------------------
@@ -192,6 +194,8 @@ class IiopServerConnection:
         self._metrics = endpoint.stack.network.metrics
         self._m_bytes_out = self._metrics.counter("giop.bytes.out", unit="B")
         self._m_bytes_in = self._metrics.counter("giop.bytes.in", unit="B")
+        self._framer.counter = self._metrics.counter("giop.bytes.zero_copy",
+                                                     unit="B")
         endpoint.on_data = self._on_data
         endpoint.on_close = self._on_close
 

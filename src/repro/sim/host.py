@@ -167,20 +167,35 @@ class Process:
 
     def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
         """Schedule ``fn`` after ``delay``; suppressed if process stops."""
-
-        def guarded(*inner: Any) -> None:
-            if self.alive:
-                fn(*inner)
-
-        timer = self.scheduler.call_after(delay, guarded, *args)
+        timer = self.host.scheduler.call_after(delay, self._guarded, fn, *args)
         self._timers.append(timer)
         if len(self._timers) > 64:
             self._timers = [t for t in self._timers if t.active]
         return timer
 
+    def _guarded(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Run ``fn`` only while the process is alive (timer trampoline)."""
+        if self.running and self.host.alive:
+            fn(*args)
+
     def soon(self, fn: Callable[..., Any], *args: Any) -> Timer:
         """Schedule ``fn`` at the current time, process-guarded."""
         return self.after(0.0, fn, *args)
+
+    def reschedule_after(self, timer: Timer, delay: float,
+                         fn: Callable[..., Any], *args: Any) -> Timer:
+        """Reset a recurring timer: move it in place when still pending,
+        or schedule a fresh guarded timer otherwise.
+
+        Equivalent to ``timer.cancel()`` followed by ``after(delay, fn,
+        *args)`` — including same-time event ordering — but reuses the
+        existing heap entry and guard closure on the hot path.  Only
+        valid when ``fn``/``args`` match what the pending timer was
+        created with.
+        """
+        if timer is not None and not timer.cancelled and not timer.fired:
+            return self.host.scheduler.reschedule_after(timer, delay)
+        return self.after(delay, fn, *args)
 
     def _cancel_timers(self) -> None:
         for timer in self._timers:

@@ -39,14 +39,28 @@ class LatencyModel:
         self.wan_latency = wan_latency
         self._site_of: Dict[str, str] = {}
         self._overrides: Dict[FrozenSet[str], float] = {}
+        # Resolved (src, dst) -> delay cache; topology edits invalidate
+        # it.  Token rotation asks for the same few pairs millions of
+        # times, so the frozenset/lookup work is paid once per pair.
+        self._cache: Dict[Tuple[str, str], float] = {}
 
     def set_site(self, host_name: str, site: str) -> None:
         self._site_of[host_name] = site
+        self._cache.clear()
 
     def set_pair(self, a: str, b: str, latency: float) -> None:
         self._overrides[frozenset((a, b))] = latency
+        self._cache.clear()
 
     def latency(self, src: str, dst: str) -> float:
+        cached = self._cache.get((src, dst))
+        if cached is not None:
+            return cached
+        delay = self._resolve(src, dst)
+        self._cache[(src, dst)] = delay
+        return delay
+
+    def _resolve(self, src: str, dst: str) -> float:
         if src == dst:
             return self.local_latency / 10.0
         override = self._overrides.get(frozenset((src, dst)))
@@ -153,17 +167,77 @@ class Network:
         if not self.can_communicate(src.name, dst.name):
             return
         delay = self.latency_model.latency(src.name, dst.name)
+        self.scheduler.call_after(
+            delay, self._arrive, src.name, dst, payload, deliver)
 
-        def arrive() -> None:
+    def _arrive(self, src_name: str, dst: Host, payload: Any,
+                deliver: DeliverFn) -> None:
+        """Delivery-time half of :meth:`send` (bound method, no closure)."""
+        if not dst.alive:
+            return
+        if not self.can_communicate(src_name, dst.name):
+            return
+        self.datagrams_delivered += 1
+        self._m_delivered.inc()
+        deliver(payload)
+
+    def broadcast(
+        self,
+        src: Host,
+        targets: List[Tuple[Host, DeliverFn]],
+        payload: Any,
+        size: int = 0,
+    ) -> int:
+        """Offer ``payload`` to every target with per-pair latency, using
+        one scheduler event per *distinct delay* instead of one per
+        target.
+
+        Semantically identical to looping ``send`` over ``targets`` in
+        the given order: per-target accounting, liveness and partition
+        checks at both send and delivery time, and delivery order are
+        all preserved (targets sharing a delay are delivered in the
+        order given, which is how back-to-back ``send`` calls would have
+        interleaved; distinct delays never tie).  Returns the number of
+        delivery events scheduled.
+        """
+        count = len(targets)
+        self.datagrams_sent += count
+        self.bytes_sent += size * count
+        self._m_sent.inc(count)
+        self._m_bytes.inc(size * count)
+        if not src.alive:
+            return 0
+        src_name = src.name
+        latency = self.latency_model.latency
+        # Group reachable targets by delay, preserving target order
+        # within a group and first-occurrence order across groups.
+        groups: Dict[float, List[Tuple[Host, DeliverFn]]] = {}
+        for dst, deliver in targets:
+            if not self.can_communicate(src_name, dst.name):
+                continue
+            delay = latency(src_name, dst.name)
+            bucket = groups.get(delay)
+            if bucket is None:
+                groups[delay] = [(dst, deliver)]
+            else:
+                bucket.append((dst, deliver))
+
+        for delay, bucket in groups.items():
+            self.scheduler.call_after(
+                delay, self._arrive_bucket, src_name, payload, bucket)
+        return len(groups)
+
+    def _arrive_bucket(self, src_name: str, payload: Any,
+                       bucket: List[Tuple[Host, DeliverFn]]) -> None:
+        """Delivery-time half of :meth:`broadcast` for one delay group."""
+        for dst, deliver in bucket:
             if not dst.alive:
-                return
-            if not self.can_communicate(src.name, dst.name):
-                return
+                continue
+            if not self.can_communicate(src_name, dst.name):
+                continue
             self.datagrams_delivered += 1
             self._m_delivered.inc()
             deliver(payload)
-
-        self.scheduler.call_after(delay, arrive)
 
     def host_crashed(self, host: Host) -> None:
         self.tracer.emit(self.scheduler.now, "net.crash", "network",

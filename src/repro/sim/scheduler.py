@@ -10,6 +10,20 @@ reproducible for a given seed and script of events.
 The scheduler is intentionally minimal: ``call_at`` / ``call_after``
 return :class:`Timer` handles that can be cancelled, and ``run`` drives
 the event loop until a time bound, an event budget, or quiescence.
+
+Two hot-path refinements keep protocol timer churn cheap without
+changing any observable ordering:
+
+* ``reschedule`` moves a pending timer to a new time **in place**.  It
+  draws a fresh tie-break — exactly what a cancel + ``call_at`` pair
+  would have consumed — so the timer fires at precisely the same
+  ``(time, tiebreak)`` position the slow path would have produced, but
+  without pushing a second heap entry per move: the old entry is
+  recognised as stale when it surfaces and is either dropped or
+  re-pushed at the timer's authoritative key.
+* cancelled entries are counted, and when they outnumber half the
+  queue the heap is compacted in one pass, so pathological
+  cancel-heavy workloads cannot make every pop wade through garbage.
 """
 
 from __future__ import annotations
@@ -20,11 +34,22 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from ..errors import SimulationError
 
+# Compaction only pays for itself once the queue is non-trivial.
+_COMPACT_MIN_QUEUE = 64
+
 
 class Timer:
-    """Handle for a scheduled callback; cancellable until it fires."""
+    """Handle for a scheduled callback; cancellable until it fires.
 
-    __slots__ = ("time", "fn", "args", "cancelled", "fired")
+    ``_key`` is the authoritative ``(time, tiebreak)`` position of the
+    timer; ``_queued_key`` is the key of the newest heap entry pushed
+    for it.  The two differ only while a lazy ``reschedule`` to a later
+    time is pending, in which case the stale entry re-pushes the timer
+    at ``_key`` when it surfaces.
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled", "fired",
+                 "_key", "_queued_key", "_sched")
 
     def __init__(self, time: float, fn: Callable[..., Any], args: Tuple[Any, ...]):
         self.time = time
@@ -32,10 +57,17 @@ class Timer:
         self.args = args
         self.cancelled = False
         self.fired = False
+        self._key: Tuple[float, int] = (time, -1)
+        self._queued_key: Tuple[float, int] = self._key
+        self._sched: Optional["Scheduler"] = None
 
     def cancel(self) -> None:
         """Prevent the callback from running (no-op if already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sched is not None:
+            self._sched._note_cancelled()
 
     @property
     def active(self) -> bool:
@@ -56,6 +88,16 @@ class Scheduler:
         self._tiebreak = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._cancelled_in_queue = 0
+        self.timers_rescheduled = 0
+        self.queue_compactions = 0
+        self._m_rescheduled = None  # optional repro.obs counters
+        self._m_compactions = None
+
+    def attach_metrics(self, registry) -> None:
+        """Export reschedule/compaction counts through a metrics registry."""
+        self._m_rescheduled = registry.counter("sched.timers.rescheduled")
+        self._m_compactions = registry.counter("sched.queue.compactions")
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -68,18 +110,156 @@ class Scheduler:
                 f"cannot schedule event at t={time} before now={self.now}"
             )
         timer = Timer(time, fn, args)
-        heapq.heappush(self._queue, (time, next(self._tiebreak), timer))
+        timer._sched = self
+        key = (time, next(self._tiebreak))
+        timer._key = key
+        timer._queued_key = key
+        heapq.heappush(self._queue, (key[0], key[1], timer))
         return timer
 
     def call_after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` after a relative ``delay`` (>= 0)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.call_at(self.now + delay, fn, *args)
+        # Inlined call_at body: every simulated event passes through
+        # here, so the extra frame is worth avoiding.  ``delay >= 0``
+        # already guarantees ``time >= now``.
+        time = self.now + delay
+        timer = Timer(time, fn, args)
+        timer._sched = self
+        key = (time, next(self._tiebreak))
+        timer._key = key
+        timer._queued_key = key
+        heapq.heappush(self._queue, (time, key[1], timer))
+        return timer
 
     def call_soon(self, fn: Callable[..., Any], *args: Any) -> Timer:
         """Schedule ``fn(*args)`` at the current time (after pending events)."""
         return self.call_at(self.now, fn, *args)
+
+    def reschedule(self, timer: Timer, time: float) -> Timer:
+        """Move a pending timer to absolute ``time`` without re-allocating.
+
+        Exactly equivalent — including same-time ordering — to
+        ``timer.cancel()`` followed by ``call_at(time, timer.fn,
+        *timer.args)``: one fresh tie-break is drawn at this moment, so
+        the timer fires at the same position in the event order the
+        cancel-and-recreate idiom would have given it.  The heap entry
+        is only re-pushed immediately when the timer moves *earlier*;
+        moves to a later time ride along until the stale entry
+        surfaces, which amortises a burst of M reschedules into a
+        single extra push.
+        """
+        if not timer.active:
+            raise SimulationError(f"cannot reschedule inactive timer {timer!r}")
+        if timer._sched is not self:
+            raise SimulationError("timer belongs to a different scheduler")
+        if time < self.now:
+            raise SimulationError(
+                f"cannot reschedule event to t={time} before now={self.now}"
+            )
+        timer.time = time
+        timer._key = (time, next(self._tiebreak))
+        if time < timer._queued_key[0]:
+            # Moving earlier: the queued entry would surface too late,
+            # so push the authoritative key now and let the old entry
+            # be dropped as a duplicate when it eventually pops.
+            timer._queued_key = timer._key
+            heapq.heappush(self._queue, (time, timer._key[1], timer))
+        self.timers_rescheduled += 1
+        if self._m_rescheduled is not None:
+            self._m_rescheduled.inc()
+        return timer
+
+    def reschedule_after(self, timer: Timer, delay: float) -> Timer:
+        """Move a pending timer to ``now + delay``; see ``reschedule``.
+
+        Inlined body of ``reschedule`` — this is the once-per-token-pass
+        loss-timer path, and ``delay >= 0`` makes ``time >= now``.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        if timer.cancelled or timer.fired:
+            raise SimulationError(f"cannot reschedule inactive timer {timer!r}")
+        if timer._sched is not self:
+            raise SimulationError("timer belongs to a different scheduler")
+        time = self.now + delay
+        timer.time = time
+        timer._key = (time, next(self._tiebreak))
+        if time < timer._queued_key[0]:
+            timer._queued_key = timer._key
+            heapq.heappush(self._queue, (time, timer._key[1], timer))
+        self.timers_rescheduled += 1
+        if self._m_rescheduled is not None:
+            self._m_rescheduled.inc()
+        return timer
+
+    def rearm_after(self, timer: Timer, delay: float) -> Timer:
+        """Re-schedule a timer that has already *fired*, reusing the
+        object.  Draws a fresh tie-break at this moment — exactly what
+        ``call_after(delay, timer.fn, *timer.args)`` would consume — so
+        event ordering is identical to recreating the timer; only the
+        allocation is saved.  Meant for strictly periodic hot-path
+        timers (e.g. the Totem token hold timer)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        if timer.cancelled or not timer.fired:
+            raise SimulationError(f"can only rearm a fired timer, got {timer!r}")
+        if timer._sched is not self:
+            raise SimulationError("timer belongs to a different scheduler")
+        timer.fired = False
+        time = self.now + delay
+        timer.time = time
+        key = (time, next(self._tiebreak))
+        timer._key = key
+        timer._queued_key = key
+        heapq.heappush(self._queue, (time, key[1], timer))
+        return timer
+
+    # ------------------------------------------------------------------
+    # Queue hygiene
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_queue += 1
+        if (len(self._queue) >= _COMPACT_MIN_QUEUE
+                and self._cancelled_in_queue > len(self._queue) // 2):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled/duplicate entries and normalise pending lazy
+        reschedules to their authoritative keys, in one heapify."""
+        live: List[Tuple[float, int, Timer]] = []
+        for time, tiebreak, timer in self._queue:
+            if not timer.active:
+                continue
+            if (time, tiebreak) != timer._queued_key:
+                continue  # superseded duplicate from an earlier-move push
+            key = timer._key
+            timer._queued_key = key
+            live.append((key[0], key[1], timer))
+        heapq.heapify(live)
+        self._queue = live
+        self._cancelled_in_queue = 0
+        self.queue_compactions += 1
+        if self._m_compactions is not None:
+            self._m_compactions.inc()
+
+    def _pop_stale(self, time: float, tiebreak: int, timer: Timer) -> None:
+        """Bookkeeping for a popped garbage entry (cancelled, superseded,
+        or lazily rescheduled).  The pop loops test liveness inline —
+        ``timer.cancelled or (time, tiebreak) != timer._key`` — and only
+        call here on the rare stale path."""
+        if timer.cancelled:
+            if self._cancelled_in_queue:
+                self._cancelled_in_queue -= 1
+            return
+        if (time, tiebreak) == timer._queued_key:
+            # Lazy reschedule to a later time: push the authoritative
+            # key now that the stale entry surfaced.
+            key = timer._key
+            timer._queued_key = key
+            heapq.heappush(self._queue, (key[0], key[1], timer))
 
     # ------------------------------------------------------------------
     # Driving the loop
@@ -97,8 +277,9 @@ class Scheduler:
     def step(self) -> bool:
         """Run the next event.  Returns False when the queue is empty."""
         while self._queue:
-            time, _, timer = heapq.heappop(self._queue)
-            if timer.cancelled:
+            time, tiebreak, timer = heapq.heappop(self._queue)
+            if timer.cancelled or (time, tiebreak) != timer._key:
+                self._pop_stale(time, tiebreak, timer)
                 continue
             self.now = time
             timer.fired = True
@@ -123,13 +304,17 @@ class Scheduler:
             raise SimulationError("scheduler re-entered: run() called from an event")
         self._running = True
         processed = 0
+        heappop = heapq.heappop
         try:
+            # NOTE: self._queue is re-read every iteration on purpose —
+            # a compaction triggered inside an event handler rebinds it.
             while self._queue and processed < max_events:
-                time, _, timer = self._queue[0]
+                time, tiebreak, timer = self._queue[0]
                 if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
-                if timer.cancelled:
+                heappop(self._queue)
+                if timer.cancelled or (time, tiebreak) != timer._key:
+                    self._pop_stale(time, tiebreak, timer)
                     continue
                 self.now = time
                 timer.fired = True
@@ -160,8 +345,9 @@ class Scheduler:
                 raise SimulationError(
                     "simulation quiesced before condition became true"
                 )
-            time, _, timer = heapq.heappop(self._queue)
-            if timer.cancelled:
+            time, tiebreak, timer = heapq.heappop(self._queue)
+            if timer.cancelled or (time, tiebreak) != timer._key:
+                self._pop_stale(time, tiebreak, timer)
                 continue
             if time > deadline:
                 raise SimulationError(

@@ -100,6 +100,7 @@ class World:
         # One registry per world: the simulated clock is the scheduler,
         # and every component reads the same registry via its network.
         self.metrics = MetricsRegistry(clock=lambda: self.scheduler.now)
+        self.scheduler.attach_metrics(self.metrics)
         self.network = Network(self.scheduler, latency_model=latency_model,
                                tracer=self.tracer, metrics=self.metrics)
         self.tcp = TcpStack(self.network, mtu=mtu)

@@ -88,6 +88,8 @@ class TotemMember(Process):
         self.state = TotemMember.GATHER
         self.ring_id: RingId = INITIAL_RING
         self.members: Tuple[str, ...] = ()
+        self._succ: Optional[str] = None   # ring successor, fixed per ring
+        self._gc_floor = 0                 # _store GC'd up to this seq
 
         # Ordering state.
         self.delivered_up_to = 0           # highest contiguously delivered seq
@@ -107,10 +109,19 @@ class TotemMember(Process):
         self._max_ring_gen = 0
         self._gather_timer: Optional[Timer] = None
         self._loss_timer: Optional[Timer] = None
+        self._fwd_timer: Optional[Timer] = None   # reused token-hold timer
 
         # Listener callbacks (upper layer: Eternal Replication Mechanisms).
         self._deliver_listeners: List[DeliverFn] = []
         self._membership_listeners: List[MembershipFn] = []
+
+        # Exact-type dispatch table for :meth:`receive` (hot path).
+        self._dispatch = {
+            RegularMessage: self._on_regular,
+            Token: self._on_token,
+            JoinMessage: self._on_join,
+            CommitMessage: self._on_commit,
+        }
 
         # Statistics.
         self.stats = {
@@ -173,16 +184,13 @@ class TotemMember(Process):
     # ------------------------------------------------------------------
 
     def receive(self, message: Any) -> None:
-        if not self.alive:
+        if not (self.running and self.host.alive):
             return
-        if isinstance(message, RegularMessage):
-            self._on_regular(message)
-        elif isinstance(message, Token):
-            self._on_token(message)
-        elif isinstance(message, JoinMessage):
-            self._on_join(message)
-        elif isinstance(message, CommitMessage):
-            self._on_commit(message)
+        # The four message classes are final, so exact-type dispatch is
+        # equivalent to the isinstance chain and constant-time.
+        handler = self._dispatch.get(type(message))
+        if handler is not None:
+            handler(message)
 
     # ------------------------------------------------------------------
     # Operational: regular messages
@@ -237,43 +245,70 @@ class TotemMember(Process):
                     self.transport.broadcast(self, stored, size=stored.size_hint)
 
         # 2. Request retransmission of our own gaps; age them out when
-        #    nobody can serve them (sender crashed pre-broadcast).
-        gaps = self._current_gaps(token.seq)
-        for seq in gaps:
-            age = self._gap_age.get(seq, 0) + 1
-            self._gap_age[seq] = age
-            if age > self.config.gap_give_up_rotations:
-                self._skip_gap(seq)
-            else:
-                token.rtr.add(seq)
+        #    nobody can serve them (sender crashed pre-broadcast).  The
+        #    guard mirrors _current_gaps' empty case so the idle
+        #    rotation does not pay for the call.
+        if self._buffer or token.seq > self.delivered_up_to:
+            for seq in self._current_gaps(token.seq):
+                age = self._gap_age.get(seq, 0) + 1
+                self._gap_age[seq] = age
+                if age > self.config.gap_give_up_rotations:
+                    self._skip_gap(seq)
+                else:
+                    token.rtr.add(seq)
 
         # 3. Broadcast queued payloads under flow control.
-        quota = self.config.max_messages_per_token
-        while self._pending and quota > 0:
-            payload, size = self._pending.pop(0)
-            token.seq += 1
-            msg = RegularMessage(self.ring_id, token.seq, self.name, payload, size)
-            self.stats["sent"] += 1
-            self._m_sent.inc()
-            self.transport.broadcast(self, msg, size=size)
-            quota -= 1
+        if self._pending:
+            quota = self.config.max_messages_per_token
+            while self._pending and quota > 0:
+                payload, size = self._pending.pop(0)
+                token.seq += 1
+                msg = RegularMessage(self.ring_id, token.seq, self.name,
+                                     payload, size)
+                self.stats["sent"] += 1
+                self._m_sent.inc()
+                self.transport.broadcast(self, msg, size=size)
+                quota -= 1
 
         # 4. Stability: aru is the minimum received-up-to over the
         #    previous full rotation, folded at the ring leader.
-        token.aru_candidate = min(token.aru_candidate, self.my_aru)
+        my_aru = self.my_aru
+        if my_aru < token.aru_candidate:
+            token.aru_candidate = my_aru
         if self.members and self.name == self.members[0]:
             token.rotation += 1
             self._m_rotations.inc()
-            token.aru = max(token.aru, token.aru_candidate)
-            token.aru_candidate = self.my_aru
+            if token.aru_candidate > token.aru:
+                token.aru = token.aru_candidate
+            token.aru_candidate = my_aru
         # Every member truncates its retransmission store at stability:
         # messages at or below aru have been received everywhere.
-        self._gc_store(token.aru)
-        self.stable_up_to = max(self.stable_up_to, token.aru)
-        self._flush_safe(self.stable_up_to)
+        aru = token.aru
+        if aru > self._gc_floor:
+            self._gc_store(aru)
+        if aru > self.stable_up_to:
+            self.stable_up_to = aru
+        if self._safe_buffer:
+            self._flush_safe(self.stable_up_to)
 
-        # 5. Forward to the ring successor after the hold time.
-        self.after(self.config.token_hold, self._forward_token, token)
+        # 5. Forward to the ring successor after the hold time.  The
+        #    same token object circulates for the life of the ring, so
+        #    the hold timer is rearmed in place (fresh tie-break drawn
+        #    now, same as scheduling anew) instead of allocated per pass.
+        fwd = self._fwd_timer
+        if fwd is not None and fwd.fired and not fwd.cancelled \
+                and fwd.args[0] is token:
+            self.scheduler.rearm_after(fwd, self.config.token_hold)
+        else:
+            self._fwd_timer = self.scheduler.call_after(
+                self.config.token_hold, self._forward_guarded, token)
+
+    def _forward_guarded(self, token: Token) -> None:
+        # Liveness guard equivalent to Process.after's trampoline: the
+        # reused timer is not tracked in self._timers, so a stopped or
+        # crashed member suppresses the forward here instead.
+        if self.running and self.host.alive:
+            self._forward_token(token)
 
     def _forward_token(self, token: Token) -> None:
         if self.state != TotemMember.OPERATIONAL or token.ring_id != self.ring_id:
@@ -286,8 +321,14 @@ class TotemMember(Process):
             self.transport.unicast(self, successor, token, size=32)
 
     def _successor(self) -> str:
-        index = self.members.index(self.name)
-        return self.members[(index + 1) % len(self.members)]
+        # The ring is fixed between reformations, so the successor is
+        # computed once at install time instead of an index scan per hop.
+        succ = self._succ
+        if succ is None:
+            index = self.members.index(self.name)
+            succ = self.members[(index + 1) % len(self.members)]
+            self._succ = succ
+        return succ
 
     def _current_gaps(self, highest: int) -> List[int]:
         if not self._buffer and highest <= self.delivered_up_to:
@@ -310,8 +351,15 @@ class TotemMember(Process):
         self._try_deliver()
 
     def _gc_store(self, aru: int) -> None:
+        # Everything at or below the floor was already collected, and
+        # within a ring no message at seq <= a past aru can re-enter the
+        # store (``_on_regular`` rejects seq <= delivered_up_to >= aru),
+        # so an unchanged aru means there is nothing to scan for.
+        if aru <= self._gc_floor:
+            return
         for seq in [s for s in self._store if s <= aru]:
             del self._store[seq]
+        self._gc_floor = aru
 
     def _flush_safe(self, stable_up_to: int) -> None:
         """Safe-deliver buffered messages that became stable, in order."""
@@ -326,10 +374,11 @@ class TotemMember(Process):
                 fn(msg.seq, msg.sender, msg.payload)
 
     def _reset_loss_timer(self) -> None:
-        if self._loss_timer is not None:
-            self._loss_timer.cancel()
-        self._loss_timer = self.after(
-            self.config.token_loss_timeout, self._on_token_loss)
+        # Fires on every token receipt: reuse the pending timer in
+        # place instead of piling a cancelled entry onto the heap.
+        self._loss_timer = self.reschedule_after(
+            self._loss_timer, self.config.token_loss_timeout,
+            self._on_token_loss)
 
     def _on_token_loss(self) -> None:
         if self.state != TotemMember.OPERATIONAL:
@@ -383,10 +432,11 @@ class TotemMember(Process):
         self.transport.broadcast(self, join, size=48)
 
     def _restart_gather_timer(self) -> None:
-        if self._gather_timer is not None:
-            self._gather_timer.cancel()
-        self._gather_timer = self.after(
-            self.config.gather_timeout, self._on_gather_complete)
+        # Restarted on every join received while gathering: same
+        # in-place fast path as the token loss timer.
+        self._gather_timer = self.reschedule_after(
+            self._gather_timer, self.config.gather_timeout,
+            self._on_gather_complete)
 
     def _highest_seen(self) -> int:
         if self._buffer:
@@ -469,6 +519,9 @@ class TotemMember(Process):
         self.state = TotemMember.OPERATIONAL
         self.ring_id = commit.ring_id
         self.members = commit.members
+        self._succ = None       # recomputed lazily for the new ring
+        self._gc_floor = 0      # new ring: GC floor restarts with the token aru
+        self._fwd_timer = None  # new ring, new token object
         self._max_ring_gen = commit.ring_id[0]
         self._gap_age.clear()
         self.stats["reformations"] += 1

@@ -1,0 +1,112 @@
+"""Golden-file determinism gate for the hot-path overhaul.
+
+The committed files under ``tests/golden/`` were captured from the
+pre-optimisation implementation.  Every perf change to the scheduler,
+network, Totem, or wire layer must keep seeded runs *byte-for-byte*
+identical to these artefacts — same delivery order, same final replica
+states, same metrics JSON — except for the counters the overhaul
+itself introduced, which did not exist in the seed and are filtered
+out of the comparison by name.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro import FtClientLayer, Orb, World
+from repro.apps import COUNTER_INTERFACE
+
+from tests.helpers import make_counter_group, make_domain
+from tests.test_obs_determinism import run_failover_scenario
+
+GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
+
+# Counters added by the hot-path overhaul: absent from the goldens,
+# excluded from byte-for-byte comparison.  Everything else must match.
+NEW_COUNTERS = {
+    "sched.timers.rescheduled",
+    "sched.queue.compactions",
+    "totem.broadcast.batched_deliveries",
+    "giop.bytes.zero_copy",
+}
+
+
+def _filter_new_counters(doc):
+    data = json.loads(doc) if isinstance(doc, str) else dict(doc)
+    data = dict(data)
+    data["metrics"] = {
+        key: series for key, series in data["metrics"].items()
+        if key.split("{")[0] not in NEW_COUNTERS
+    }
+    return data
+
+
+def _run_chaos_traced(victim_index=0, crash_delay=0.09, seed=5):
+    """Seeded crash scenario; returns (delivery trace, final counts,
+    metrics JSON) for comparison against the committed golden."""
+    world = World(seed=seed, trace=False)
+    domain = make_domain(world, num_hosts=4, gateways=2)
+    group = make_counter_group(domain, replicas=3, min_replicas=2)
+    deliveries = {name: [] for name in domain.members}
+    for name, member in domain.members.items():
+        member.on_deliver(
+            lambda seq, sender, payload, n=name: deliveries[n].append(
+                (seq, sender,
+                 getattr(payload, "describe", lambda: repr(payload))())))
+    host = world.add_host("browser")
+    orb = Orb(world, host, request_timeout=None)
+    layer = FtClientLayer(orb, client_uid="chaos")
+    stub = layer.string_to_object(
+        domain.ior_for(group).to_string(), COUNTER_INTERFACE)
+    victims = [h.name for h in domain.hosts]
+    victim = victims[victim_index % len(victims)]
+    world.scheduler.call_after(
+        crash_delay, lambda: world.faults.crash_now(victim))
+    for _ in range(4):
+        world.await_promise(stub.call("increment", 1), timeout=600)
+    world.run(until=world.now + 2.0)
+    finals = {}
+    for host_name, rm in domain.rms.items():
+        record = rm.replicas.get(group.group_id)
+        if record is not None and rm.alive:
+            finals[host_name] = record.servant.count
+    return deliveries, finals, world.metrics_json()
+
+
+def test_failover_metrics_match_pre_overhaul_golden():
+    world = run_failover_scenario()
+    current = _filter_new_counters(world.metrics_json())
+    golden = _filter_new_counters(
+        json.loads((GOLDEN_DIR / "failover_metrics_seed350.json").read_text()))
+    assert current == golden
+
+
+def test_chaos_delivery_order_and_final_states_match_golden():
+    deliveries, finals, _ = _run_chaos_traced()
+    current = json.loads(json.dumps(
+        {"deliveries": deliveries, "final_counts": finals}, sort_keys=True))
+    golden = json.loads((GOLDEN_DIR / "chaos_trace_seed5.json").read_text())
+    assert current == golden
+
+
+def test_chaos_metrics_match_golden_modulo_new_counters():
+    _, _, metrics_json = _run_chaos_traced()
+    current = _filter_new_counters(metrics_json)
+    golden = _filter_new_counters(
+        json.loads((GOLDEN_DIR / "chaos_metrics_seed5.json").read_text()))
+    assert current == golden
+
+
+def test_new_counters_are_present_and_active():
+    """The overhaul's own counters must actually move in a busy run."""
+    _, _, metrics_json = _run_chaos_traced()
+    series = json.loads(metrics_json)["metrics"]
+    names = {key.split("{")[0] for key in series}
+    assert NEW_COUNTERS <= names
+    rescheduled = next(v for k, v in series.items()
+                       if k.split("{")[0] == "sched.timers.rescheduled")
+    batched = next(v for k, v in series.items()
+                   if k.split("{")[0] == "totem.broadcast.batched_deliveries")
+    assert rescheduled["value"] > 0
+    assert batched["value"] > 0

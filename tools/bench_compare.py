@@ -1,0 +1,182 @@
+#!/usr/bin/env python
+"""Perf-regression gate: run the hot-path benchmarks and compare means
+against the committed ``BENCH_BASELINE.json``.
+
+Usage::
+
+    python tools/bench_compare.py [--baseline BENCH_BASELINE.json]
+                                  [--threshold 0.20] [--update-baseline]
+
+The script
+
+* runs ``benchmarks/bench_totem_ring.py`` and
+  ``benchmarks/bench_gateway_scaling.py`` under pytest-benchmark,
+* writes the dated raw results plus the comparison to
+  ``BENCH_<YYYY-MM-DD>.json`` in the repository root,
+* reports the headline speedup of each benchmark against the recorded
+  pre-overhaul means (``pre_pr_mean_s``),
+* **fails (exit 1)** when any benchmark's wall-clock mean regresses more
+  than ``--threshold`` (default 20%) over the committed ``mean_s``, or
+  when any simulated-time scalar in ``extra_info`` (latencies,
+  completion times, delivery counts — everything the discrete-event
+  simulation fully determines) differs from the baseline.  Simulated
+  numbers are deterministic, so *any* drift there is a semantic change,
+  not noise.
+
+Wall-clock numbers depend on the machine; refresh the baseline on the
+reference runner with ``--update-baseline`` (this preserves the
+recorded ``pre_pr_mean_s`` values so the headline speedup stays
+anchored to the pre-overhaul measurement).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILES = [
+    "benchmarks/bench_totem_ring.py",
+    "benchmarks/bench_gateway_scaling.py",
+]
+# extra_info keys that legitimately vary with implementation details
+# (event counts) or hold nested blobs rather than simulated scalars.
+EXTRA_INFO_IGNORED = {"metrics", "events_processed"}
+
+
+def run_benchmarks() -> dict:
+    """Run the benchmark suite; return the pytest-benchmark JSON doc."""
+    with tempfile.NamedTemporaryFile(
+            suffix=".json", delete=False, mode="w") as tmp:
+        out_path = tmp.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(REPO_ROOT, "src"),
+                    env.get("PYTHONPATH", "")) if p)
+    cmd = [sys.executable, "-m", "pytest", *BENCH_FILES,
+           "-p", "no:cacheprovider", "-q",
+           f"--benchmark-json={out_path}"]
+    proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if proc.returncode != 0:
+        print(f"benchmark run failed (pytest exit {proc.returncode})")
+        sys.exit(proc.returncode)
+    with open(out_path) as f:
+        doc = json.load(f)
+    os.unlink(out_path)
+    return doc
+
+
+def scalar_extra_info(bench: dict) -> dict:
+    return {k: v for k, v in bench.get("extra_info", {}).items()
+            if k not in EXTRA_INFO_IGNORED}
+
+
+def compare(baseline: dict, fresh: dict, threshold: float) -> dict:
+    """Build the comparison report; report['failures'] drives the gate."""
+    fresh_by_name = {b["name"]: b for b in fresh["benchmarks"]}
+    rows, failures = [], []
+    for name, ref in sorted(baseline["benchmarks"].items()):
+        cur = fresh_by_name.get(name)
+        if cur is None:
+            failures.append(f"{name}: benchmark missing from run")
+            continue
+        mean = cur["stats"]["mean"]
+        best = cur["stats"]["min"]
+        # Gate on the *min*: the discrete-event workload is fixed, so
+        # the minimum is the least noise-contaminated wall-clock sample;
+        # means of the sub-millisecond benches swing >20% run to run.
+        gate_ref = ref.get("min_s", ref["mean_s"])
+        ratio = best / gate_ref if gate_ref else float("inf")
+        row = {
+            "name": name,
+            "mean_s": mean,
+            "min_s": best,
+            "baseline_mean_s": ref["mean_s"],
+            "baseline_min_s": gate_ref,
+            "ratio_vs_baseline": ratio,
+        }
+        if "pre_pr_mean_s" in ref:
+            row["speedup_vs_pre_pr"] = ref["pre_pr_mean_s"] / mean
+        if ratio > 1.0 + threshold:
+            failures.append(
+                f"{name}: wall-clock regression {ratio:.2f}x over baseline "
+                f"min ({gate_ref * 1000:.2f}ms -> {best * 1000:.2f}ms)")
+        extra = scalar_extra_info(cur)
+        if extra != ref.get("extra_info", {}):
+            failures.append(
+                f"{name}: simulated extra_info drifted "
+                f"(expected {ref.get('extra_info')}, got {extra})")
+        rows.append(row)
+    for name in sorted(set(fresh_by_name) - set(baseline["benchmarks"])):
+        rows.append({
+            "name": name,
+            "mean_s": fresh_by_name[name]["stats"]["mean"],
+            "baseline_mean_s": None,
+            "note": "not in baseline",
+        })
+    return {"rows": rows, "failures": failures}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline",
+                        default=os.path.join(REPO_ROOT, "BENCH_BASELINE.json"))
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="allowed fractional wall-clock regression "
+                             "(default 0.20 = 20%%)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline means from this run "
+                             "(keeps pre_pr_mean_s anchors)")
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    fresh = run_benchmarks()
+    report = compare(baseline, fresh, args.threshold)
+
+    today = datetime.date.today().isoformat()
+    dated_path = os.path.join(REPO_ROOT, f"BENCH_{today}.json")
+    with open(dated_path, "w") as f:
+        json.dump({"date": today, "comparison": report,
+                   "raw": fresh}, f, indent=1, sort_keys=True)
+    print(f"\nwrote {dated_path}")
+
+    for row in report["rows"]:
+        if row.get("baseline_mean_s") is None:
+            continue
+        speed = row.get("speedup_vs_pre_pr")
+        headline = f"  {row['ratio_vs_baseline']:5.2f}x vs baseline"
+        if speed is not None:
+            headline += f", {speed:5.2f}x vs pre-overhaul"
+        print(f"{row['name']:55s}{headline}")
+
+    if args.update_baseline:
+        for b in fresh["benchmarks"]:
+            entry = baseline["benchmarks"].setdefault(b["name"], {})
+            entry["mean_s"] = b["stats"]["mean"]
+            entry["min_s"] = b["stats"]["min"]
+            entry["extra_info"] = scalar_extra_info(b)
+        baseline["captured"] = today
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {args.baseline}")
+        return 0
+
+    if report["failures"]:
+        print("\nREGRESSIONS DETECTED:")
+        for failure in report["failures"]:
+            print(f"  - {failure}")
+        return 1
+    print("\nno regressions: all means within "
+          f"{args.threshold:.0%} of baseline, simulated numbers identical")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
