@@ -6,7 +6,8 @@ domain status report.  Useful as a smoke test of an installation.
 
 ``--metrics`` appends the world's metrics registry after the report;
 ``--metrics-json`` prints the canonical JSON snapshot instead of the
-table (byte-identical across runs of the same seed).
+table (byte-identical across runs of the same seed); ``--audit`` runs
+the resource-leak audit at quiescence and fails the run on any leak.
 """
 
 from __future__ import annotations
@@ -28,6 +29,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="print the metrics registry after the report")
     parser.add_argument("--metrics-json", action="store_true",
                         help="print the canonical JSON metrics snapshot")
+    parser.add_argument("--audit", action="store_true",
+                        help="run the resource-leak audit at quiescence; "
+                             "a leak fails the run")
     parser.add_argument("--seed", type=int, default=2026,
                         help="world seed (default: 2026)")
     args = parser.parse_args(argv)
@@ -64,6 +68,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               if group.group_id in rm.replicas}
     ok = values == {expected}
     print(f"\nreplica agreement: {'OK' if ok else 'BROKEN'} (values={values})")
+    if args.audit:
+        report = world.audit()
+        print("\n" + report.render())
+        ok = ok and report.ok
     if args.metrics:
         print("\nmetrics registry:")
         print(world.metrics_report())

@@ -93,6 +93,38 @@ class DuplicateSuppressor:
             return (DuplicateSuppressor.DELIVER, payload)
         return (DuplicateSuppressor.PENDING, None)
 
+    @property
+    def pending_count(self) -> int:
+        """Expectations still awaiting delivery (0 at quiescence)."""
+        return len(self._pending)
+
+    @property
+    def delivered_count(self) -> int:
+        """Delivered-memory entries (bounded by the remember window)."""
+        return len(self._delivered)
+
+    @property
+    def remember_limit(self) -> int:
+        return self._remember
+
+    def register_audit(self, scope, owner: str = "", active=None,
+                       prefix: str = "filter",
+                       gauge_prefix: Optional[str] = None) -> None:
+        """Declare this suppressor's two maps to a resource-audit scope.
+
+        Every expectation must eventually resolve (response delivered,
+        cancelled, or purged with its client), so ``_pending`` floors at
+        zero; the delivered-memory is legitimately full up to its
+        remember window."""
+        gp = gauge_prefix
+        scope.register(f"{prefix}.pending", lambda: len(self._pending),
+                       floor=0, owner=owner, active=active,
+                       gauge=None if gp is None else f"{gp}.pending")
+        scope.register(f"{prefix}.delivered", lambda: len(self._delivered),
+                       floor=lambda: self._remember, owner=owner,
+                       active=active,
+                       gauge=None if gp is None else f"{gp}.delivered")
+
     def forget_where(self, predicate) -> int:
         """Drop pending expectations and delivered-memory whose key
         matches ``predicate``; returns how many entries were removed.

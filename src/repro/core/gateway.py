@@ -31,6 +31,7 @@ away so per-client state can be deleted everywhere.
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass
 from typing import Dict, List, Tuple, TYPE_CHECKING
@@ -79,7 +80,9 @@ class Gateway(Process):
 
     def __init__(self, domain: "FaultToleranceDomain", host: Host, port: int,
                  mirror_requests: bool = True,
-                 response_cache_limit: int = 10_000) -> None:
+                 response_cache_limit: int = 10_000,
+                 cancel_ttl: float = 30.0,
+                 oneway_ttl: float = 30.0) -> None:
         super().__init__(host, f"gateway@{host.name}:{port}")
         self.domain = domain
         self.port = port
@@ -103,6 +106,21 @@ class Gateway(Process):
         self._cache: Dict[Tuple[ClientId, OperationId], bytes] = {}
         self._cancelled: set = set()
         self._filter = DuplicateSuppressor()
+        # Clients that closed their connection while operations were
+        # still pending: the CLIENT_GONE broadcast is deferred until the
+        # last pending operation resolves, so peers keep the mirror
+        # records they need to collect the in-flight responses
+        # (section 3.5) and the records themselves are reclaimed.
+        self._gone_pending: set = set()
+        # Retention layer: cancel tombstones and one-way pending records
+        # have no response to resolve them, so each is reaped after a
+        # TTL.  One on-demand timer serves the whole expiry heap;
+        # nothing is armed while the heap is empty.
+        self.cancel_ttl = cancel_ttl
+        self.oneway_ttl = oneway_ttl
+        self._reap_heap: list = []
+        self._reap_seq = itertools.count()
+        self._reap_timer = None
 
         self.stats = {
             "requests_received": 0,
@@ -117,6 +135,11 @@ class Gateway(Process):
             "clients_connected": 0,
             "clients_gone": 0,
             "bad_object_key": 0,
+            "cancels": 0,
+            "cancels_reaped": 0,
+            "oneways_completed": 0,
+            "oneways_reaped": 0,
+            "client_gone_deferred": 0,
         }
 
         # World-shared metrics (one registry per world; every gateway of
@@ -140,6 +163,53 @@ class Gateway(Process):
         self._m_clients = m.counter("gateway.clients.connected")
         self._m_clients_gone = m.counter("gateway.clients.gone")
         self._m_bad_key = m.counter("gateway.req.bad_object_key")
+        self._m_req_cancelled = m.counter("gateway.req.cancelled")
+        self._m_reap_cancelled = m.counter("gateway.reap.cancelled")
+        self._m_oneway_completed = m.counter("gateway.oneway.completed")
+        self._m_reap_oneway = m.counter("gateway.reap.oneway")
+        self._m_gone_deferred = m.counter("gateway.clients.gone_deferred")
+
+        self._register_audit()
+
+    def _register_audit(self) -> None:
+        """Declare every per-client collection to the world audit scope
+        (see :mod:`repro.obs.audit`) with its quiescence floor."""
+        scope, owner = self.audit, self.name
+
+        def alive() -> bool:
+            return self.alive
+
+        scope.register("gateway.pending", lambda: len(self._pending),
+                       floor=0, owner=owner, active=alive,
+                       gauge="gateway.state.pending")
+        scope.register("gateway.cache", lambda: len(self._cache),
+                       floor=lambda: self.response_cache_limit,
+                       owner=owner, active=alive,
+                       gauge="gateway.state.cache")
+        scope.register("gateway.cancelled", lambda: len(self._cancelled),
+                       floor=0, owner=owner, active=alive,
+                       gauge="gateway.state.cancelled")
+        scope.register("gateway.routing", lambda: len(self._routing),
+                       floor=lambda: sum(
+                           1 for c in self._routing.values() if c.open),
+                       owner=owner, active=alive,
+                       gauge="gateway.state.routing")
+        scope.register("gateway.conn_ids", lambda: len(self._conn_ids),
+                       floor=lambda: sum(1 for c in self._conn_ids if c.open),
+                       owner=owner, active=alive,
+                       gauge="gateway.state.conn_ids")
+        scope.register("gateway.gone_pending",
+                       lambda: len(self._gone_pending),
+                       floor=0, owner=owner, active=alive,
+                       gauge="gateway.state.gone_pending")
+        # The reap heap is lazily drained, so it may hold entries whose
+        # target is already resolved: snapshot-only.
+        scope.register("gateway.reap_queue", lambda: len(self._reap_heap),
+                       floor=None, owner=owner, active=alive,
+                       gauge="gateway.state.reap_queue")
+        self._filter.register_audit(scope, owner=owner, active=alive,
+                                    prefix="gateway.filter",
+                                    gauge_prefix="gateway.state.filter")
 
     # ==================================================================
     # Lifecycle
@@ -241,6 +311,10 @@ class Gateway(Process):
         target_group = info.group_id
 
         client_id = self._identify_client(request, connection, target_group)
+        # A returning client (e.g. an egress successor reusing the same
+        # identifiers) voids any deferred departure broadcast: purging
+        # now would delete the state the reissues are about to claim.
+        self._gone_pending.discard(client_id)
         # "Map socket to client identifier" (Figure 5a).
         self._routing[client_id] = connection
         op_id = external_operation_id(request.request_id)
@@ -264,11 +338,24 @@ class Gateway(Process):
         if request.response_expected:
             self._filter.expect((target_group, client_id, op_id),
                                 votes_needed=self._votes_for(info))
+        else:
+            # One-way: no response will ever pop this record.  It is
+            # dropped when the forwarded INVOCATION is observed
+            # delivered, or by TTL if the forward is lost.
+            self._schedule_reap("oneway", cache_key, pending,
+                                self.oneway_ttl)
 
         from ..eternal.messages import DomainMessage, MsgKind
         from ..eternal.naming import GATEWAY_GROUP
         if self.mirror_requests:
             # Section 3.5: record the request group-wide before forwarding.
+            data = {"target_group": target_group,
+                    "forwarder": self.host.name}
+            if not request.response_expected:
+                # Key present only for one-ways, so the mirror's weight
+                # (and the totem byte metrics) is unchanged for the
+                # common two-way case.
+                data["response_expected"] = False
             self.rm.multicast(DomainMessage(
                 kind=MsgKind.GATEWAY_MIRROR,
                 source_group=GATEWAY_GROUP,
@@ -276,8 +363,7 @@ class Gateway(Process):
                 client_id=client_id,
                 op_id=op_id,
                 iiop=message,
-                data={"target_group": target_group,
-                      "forwarder": self.host.name},
+                data=data,
             ))
         self._forward(pending)
 
@@ -308,9 +394,21 @@ class Gateway(Process):
         if client_id is None:
             return
         op_id = external_operation_id(cancelled_id)
-        self._pending.pop((client_id, op_id), None)
-        self._cancelled.add((client_id, op_id))
-        self.stats["cancels"] = self.stats.get("cancels", 0) + 1
+        key = (client_id, op_id)
+        record = self._pending.pop(key, None)
+        self.stats["cancels"] += 1
+        self._m_req_cancelled.inc()
+        if record is None and key in self._cache:
+            # The cancel raced the reply over the WAN and lost: the
+            # response was already written back.  A tombstone now could
+            # never be consumed — late duplicates are suppressed by the
+            # delivered-filter before the tombstone is consulted — and
+            # would sit until its TTL.
+            return
+        self._cancelled.add(key)
+        # The tombstone is discarded when the late response arrives
+        # (_on_domain_response) or, if no response ever comes, by TTL.
+        self._schedule_reap("cancel", key, record, self.cancel_ttl)
 
     def _forward(self, pending: _PendingRequest) -> None:
         from ..eternal.messages import DomainMessage, MsgKind
@@ -359,17 +457,39 @@ class Gateway(Process):
         if self._routing.get(client_id) is connection:
             del self._routing[client_id]
         has_pending = any(cid == client_id for (cid, _) in self._pending)
-        if not has_pending:
-            # Tell the other gateways the client is gone so they delete
-            # any state stored on its behalf (section 3.5).
-            from ..eternal.messages import DomainMessage, MsgKind
-            from ..eternal.naming import GATEWAY_GROUP
-            self.rm.multicast(DomainMessage(
-                kind=MsgKind.CLIENT_GONE,
-                source_group=GATEWAY_GROUP,
-                target_group=GATEWAY_GROUP,
-                client_id=client_id,
-            ))
+        if has_pending:
+            # Operations are still in flight: defer the domain-wide
+            # purge until the last one resolves, so peers keep the
+            # mirror records they need to collect the responses
+            # (section 3.5).  Without the deferral those records leak —
+            # CLIENT_GONE is never re-sent once suppressed here.
+            self._gone_pending.add(client_id)
+            self.stats["client_gone_deferred"] += 1
+            self._m_gone_deferred.inc()
+        else:
+            self._broadcast_client_gone(client_id)
+
+    def _broadcast_client_gone(self, client_id: ClientId) -> None:
+        """Tell the other gateways the client is gone so they delete any
+        state stored on its behalf (section 3.5)."""
+        from ..eternal.messages import DomainMessage, MsgKind
+        from ..eternal.naming import GATEWAY_GROUP
+        self.rm.multicast(DomainMessage(
+            kind=MsgKind.CLIENT_GONE,
+            source_group=GATEWAY_GROUP,
+            target_group=GATEWAY_GROUP,
+            client_id=client_id,
+        ))
+
+    def _maybe_flush_client_gone(self, client_id: ClientId) -> None:
+        """Fire a deferred CLIENT_GONE once the departed client's last
+        pending operation has resolved."""
+        if client_id not in self._gone_pending:
+            return
+        if any(cid == client_id for (cid, _) in self._pending):
+            return
+        self._gone_pending.discard(client_id)
+        self._broadcast_client_gone(client_id)
 
     # ==================================================================
     # Multicast side (inside the domain)
@@ -386,9 +506,17 @@ class Gateway(Process):
         elif kind is MsgKind.GATEWAY_MIRROR:
             self._on_mirror(msg)
         elif kind is MsgKind.INVOCATION and msg.source_group == GATEWAY_GROUP:
-            record = self._pending.get((msg.client_id, msg.op_id))
+            key = (msg.client_id, msg.op_id)
+            record = self._pending.get(key)
             if record is not None:
                 record.forwarded = True
+                if not record.response_expected:
+                    # One-way: the delivered forward *is* the operation's
+                    # completion — no response will ever pop the record.
+                    del self._pending[key]
+                    self.stats["oneways_completed"] += 1
+                    self._m_oneway_completed.inc()
+                    self._maybe_flush_client_gone(msg.client_id)
         elif kind is MsgKind.CLIENT_GONE:
             self._purge_client(msg.client_id)
 
@@ -421,9 +549,13 @@ class Gateway(Process):
         if cache_key in self._cancelled:
             # The client withdrew interest (CancelRequest): keep the
             # cached response (a reissue may still claim it) but do not
-            # write to the socket.
+            # write to the socket.  The tombstone has now served its
+            # purpose — discard it, or it pins this (client, op) pair
+            # forever.
+            self._cancelled.discard(cache_key)
             self.stats["responses_unroutable"] += 1
             self._m_resp_unroutable.inc()
+            self._maybe_flush_client_gone(msg.client_id)
             return
         connection = self._routing.get(msg.client_id)
         if connection is not None and connection.open:
@@ -441,6 +573,7 @@ class Gateway(Process):
         else:
             self.stats["responses_unroutable"] += 1
             self._m_resp_unroutable.inc()
+        self._maybe_flush_client_gone(msg.client_id)
 
     def _on_mirror(self, msg: "DomainMessage") -> None:
         if not self.mirror_requests:
@@ -448,11 +581,23 @@ class Gateway(Process):
         self.stats["mirrors_recorded"] += 1
         self._m_mirrors.inc()
         cache_key = (msg.client_id, msg.op_id)
+        response_expected = msg.data.get("response_expected", True)
         if cache_key not in self._pending and cache_key not in self._cache:
-            self._pending[cache_key] = _PendingRequest(
+            record = _PendingRequest(
                 client_id=msg.client_id, op_id=msg.op_id,
                 target_group=msg.data["target_group"], iiop=msg.iiop,
-                forwarder=msg.data["forwarder"])
+                forwarder=msg.data["forwarder"],
+                response_expected=response_expected)
+            self._pending[cache_key] = record
+            if not response_expected:
+                self._schedule_reap("oneway", cache_key, record,
+                                    self.oneway_ttl)
+        if not response_expected:
+            # One-way mirrors never get a response: registering a filter
+            # expectation would pin an entry that can never resolve.
+            # The record is dropped when the forwarded INVOCATION is
+            # observed delivered, or by TTL if it never is.
+            return
         info = self.rm.registry.get(msg.data["target_group"])
         votes = self._votes_for(info) if info is not None else 1
         self._filter.expect((msg.data["target_group"], msg.client_id,
@@ -467,10 +612,66 @@ class Gateway(Process):
             del self._cache[key]
         self._routing.pop(client_id, None)
         self._cancelled = {k for k in self._cancelled if k[0] != client_id}
+        self._gone_pending.discard(client_id)
         # Forget the filter's memory as well: if the "client" returns
         # with the same identifiers (e.g. an egress successor host), its
         # reissues must be re-servable, not suppressed as duplicates.
         self._filter.forget_where(lambda key: key[1] == client_id)
+
+    # ==================================================================
+    # Retention: TTL reaping of tombstones and one-way records
+    # ==================================================================
+
+    def _schedule_reap(self, kind: str, key, record, ttl: float) -> None:
+        """Queue one entry for TTL reaping and arm the shared timer.
+
+        Entries are reaped lazily: by the time one expires its target
+        may already have been resolved (one-way observed delivered,
+        tombstone discarded by a late response), in which case the
+        expiry is a no-op.  The single timer always sleeps until the
+        earliest queued expiry."""
+        expiry = self.scheduler.now + ttl
+        heapq.heappush(self._reap_heap,
+                       (expiry, next(self._reap_seq), kind, key, record))
+        timer = self._reap_timer
+        if timer is not None and timer.active:
+            if timer.time <= expiry:
+                return  # an earlier (or equal) wake-up covers this entry
+            self._reap_timer = self.reschedule_after(
+                timer, ttl, self._run_reaper)
+        else:
+            self._reap_timer = self.after(ttl, self._run_reaper)
+
+    def _run_reaper(self) -> None:
+        now = self.scheduler.now
+        heap = self._reap_heap
+        while heap and heap[0][0] <= now:
+            _, _, kind, key, record = heapq.heappop(heap)
+            if kind == "cancel":
+                if key in self._cancelled:
+                    # No response ever arrived for the cancelled
+                    # operation (e.g. its server group died): drop the
+                    # tombstone and the filter expectation that was
+                    # waiting for the response.
+                    self._cancelled.discard(key)
+                    if record is not None:
+                        self._filter.cancel(
+                            (record.target_group, key[0], key[1]))
+                    self.stats["cancels_reaped"] += 1
+                    self._m_reap_cancelled.inc()
+            else:  # "oneway"
+                if self._pending.get(key) is record:
+                    # The forwarded INVOCATION was never observed
+                    # delivered (lost to a crash or partition): give up
+                    # rather than pin the record forever.
+                    del self._pending[key]
+                    self.stats["oneways_reaped"] += 1
+                    self._m_reap_oneway.inc()
+                    self._maybe_flush_client_gone(key[0])
+        if heap:
+            self._reap_timer = self.after(heap[0][0] - now, self._run_reaper)
+        else:
+            self._reap_timer = None
 
     # ==================================================================
     # Gateway-group failover (section 3.5)

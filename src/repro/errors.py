@@ -22,6 +22,11 @@ class SimulationError(ReproError):
     """The discrete-event simulation was driven into an invalid state."""
 
 
+class AuditError(ReproError):
+    """A resource audit found a stateful collection above its declared
+    floor at quiescence — i.e. a leak (see :mod:`repro.obs.audit`)."""
+
+
 class MarshalError(ReproError):
     """CDR or GIOP encoding/decoding failed (malformed bytes or bad type)."""
 

@@ -71,6 +71,18 @@ class GroupLog:
         if self._m_checkpoints is not None:
             self._m_checkpoints.inc()
 
+    def truncate_covered(self, ts: int) -> int:
+        """Drop log entries already covered by state installed elsewhere
+        (the warm-passive primary's own update): truncation only — no
+        checkpoint adoption, no install accounting.  The primary's
+        servant already holds this state, so the entries can never be
+        needed for a local replay; keeping them grows the primary's log
+        by one entry per operation, forever."""
+        before = len(self.invocations)
+        self.invocations = [m for m in self.invocations if m.timestamp > ts]
+        self.ops_since_checkpoint = len(self.invocations)
+        return before - len(self.invocations)
+
     def replay_after(self, ts: int) -> List[DomainMessage]:
         """Invocations with delivery timestamp strictly greater than ts."""
         return [m for m in self.invocations if m.timestamp > ts]

@@ -178,6 +178,8 @@ class ReplicationMechanisms(Process):
         self._m_transfer_bytes = m.histogram("fault.state_transfer.bytes", unit="B")
         self._m_recovery_duration = m.histogram("fault.recovery.duration", unit="s")
 
+        self._register_audit()
+
         totem.on_deliver(self._on_deliver)
         totem.on_membership(self._on_membership)
         self.running = True
@@ -312,6 +314,53 @@ class ReplicationMechanisms(Process):
         if not i_execute:
             return  # passive backup: logged only
         self._execute(msg, record, info, request, key)
+
+    def _register_audit(self) -> None:
+        """Declare this processor's stateful collections to the world
+        audit scope (see :mod:`repro.obs.audit`)."""
+        scope, owner = self.audit, self.name
+
+        def alive() -> bool:
+            return self.alive
+
+        def log_floor() -> int:
+            # Each logged group may legitimately hold up to one
+            # checkpoint interval of suffix (plus the op that triggered
+            # the in-flight checkpoint); anything beyond that was never
+            # truncated.
+            total = 0
+            for group_id in self.logs:
+                info = self.registry.get(group_id)
+                total += 1 + (info.checkpoint_interval
+                              if info is not None else 10)
+            return total
+
+        scope.register("rm.logs",
+                       lambda: sum(len(log) for log in self.logs.values()),
+                       floor=log_floor, owner=owner, active=alive,
+                       gauge="rm.state.log_entries")
+        scope.register("rm.dedup",
+                       lambda: sum(len(t)
+                                   for t in self._invocations_seen.values()),
+                       floor=lambda: (DEDUP_TABLE_LIMIT
+                                      * max(1, len(self._invocations_seen))),
+                       owner=owner, active=alive,
+                       gauge="rm.state.dedup_entries")
+        scope.register("rm.waiting_nested",
+                       lambda: len(self._waiting_nested),
+                       floor=0, owner=owner, active=alive,
+                       gauge="rm.state.waiting_nested")
+        scope.register("rm.waiting_external",
+                       lambda: len(self._waiting_external),
+                       floor=0, owner=owner, active=alive,
+                       gauge="rm.state.waiting_external")
+        scope.register("rm.presync_buffer",
+                       lambda: len(self._presync_buffer),
+                       floor=0, owner=owner, active=alive,
+                       gauge="rm.state.presync_buffer")
+        self._response_filter.register_audit(scope, owner=owner, active=alive,
+                                             prefix="rm.filter",
+                                             gauge_prefix="rm.state.filter")
 
     def _execute(self, msg: DomainMessage, record: ReplicaRecord,
                  info: GroupInfo, request: RequestMessage, key: Tuple) -> None:
@@ -738,10 +787,14 @@ class ReplicationMechanisms(Process):
         info = self.registry.get(group_id)
         if record is None or info is None:
             return
-        if info.primary(self.live_hosts) == self.host.name:
-            return  # the primary's own update
-        record.servant.set_state(msg.data["state"])
         log = self._log_for(group_id)
+        if info.primary(self.live_hosts) == self.host.name:
+            # The primary's own update: its servant state is already
+            # current, but the covered log prefix must still be dropped
+            # or the primary's log grows by one entry per operation.
+            log.truncate_covered(msg.data["upto_ts"])
+            return
+        record.servant.set_state(msg.data["state"])
         log.install_checkpoint(msg.data["state"], msg.data["upto_ts"])
 
     # ==================================================================

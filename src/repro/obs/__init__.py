@@ -7,10 +7,15 @@ the GIOP connections, and the Eternal fault handling machinery.  See
 docs/OBSERVABILITY.md for the metric catalogue and clock semantics.
 """
 
+from .audit import AuditEntry, AuditReport, AuditRow, AuditScope
 from .export import parse_json, render_text, to_json
 from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry, Span
 
 __all__ = [
+    "AuditEntry",
+    "AuditReport",
+    "AuditRow",
+    "AuditScope",
     "Counter",
     "Gauge",
     "Histogram",

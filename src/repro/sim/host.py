@@ -126,6 +126,11 @@ class Process:
         return self.host.network.metrics
 
     @property
+    def audit(self):
+        """The world-shared :class:`~repro.obs.AuditScope`."""
+        return self.host.network.audit
+
+    @property
     def alive(self) -> bool:
         """True when the process runs on a live host and was started."""
         return self.running and self.host.alive

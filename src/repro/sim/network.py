@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..obs import MetricsRegistry
+from ..obs import AuditScope, MetricsRegistry
 from .host import Host
 from .scheduler import Scheduler
 from .trace import Tracer
@@ -84,6 +84,7 @@ class Network:
         latency_model: Optional[LatencyModel] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        audit: Optional[AuditScope] = None,
     ) -> None:
         self.scheduler = scheduler
         self.latency_model = latency_model or LatencyModel()
@@ -92,6 +93,9 @@ class Network:
         # the network, so one scenario shares one set of metrics.
         self.metrics = metrics if metrics is not None else MetricsRegistry(
             clock=lambda: scheduler.now)
+        # The world-owned resource-leak audit scope, shared the same way.
+        self.audit = audit if audit is not None else AuditScope(
+            metrics=self.metrics, clock=lambda: scheduler.now)
         self._m_sent = self.metrics.counter("net.datagrams.sent")
         self._m_delivered = self.metrics.counter("net.datagrams.delivered")
         self._m_bytes = self.metrics.counter("net.bytes.sent", unit="B")

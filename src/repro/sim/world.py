@@ -15,7 +15,7 @@ import random
 from typing import Any, Iterable, Optional
 
 from ..errors import SimulationError
-from ..obs import MetricsRegistry, render_text, to_json
+from ..obs import AuditReport, AuditScope, MetricsRegistry, render_text, to_json
 from .faults import FaultInjector
 from .host import Host
 from .network import LatencyModel, Network
@@ -101,8 +101,15 @@ class World:
         # and every component reads the same registry via its network.
         self.metrics = MetricsRegistry(clock=lambda: self.scheduler.now)
         self.scheduler.attach_metrics(self.metrics)
+        # One audit scope per world (see repro.obs.audit): components
+        # register their stateful collections as they are built, and
+        # world.audit() checks every one against its declared floor.
+        self.audit_scope = AuditScope(metrics=self.metrics,
+                                      clock=lambda: self.scheduler.now)
         self.network = Network(self.scheduler, latency_model=latency_model,
-                               tracer=self.tracer, metrics=self.metrics)
+                               tracer=self.tracer, metrics=self.metrics,
+                               audit=self.audit_scope)
+        self._register_scheduler_audit()
         self.tcp = TcpStack(self.network, mtu=mtu)
         self.faults = FaultInjector(self.scheduler, self.network)
         self.rng = random.Random(seed)
@@ -111,6 +118,38 @@ class World:
     @property
     def now(self) -> float:
         return self.scheduler.now
+
+    def _register_scheduler_audit(self) -> None:
+        """Declare the event queue's hygiene contract to the audit scope.
+
+        The queue itself legitimately holds live periodic timers at any
+        quiescent instant (token rotation never stops), so its depth is
+        snapshot-only; what must stay bounded is the *stale* entry count
+        — cancelled or superseded heap entries — which compaction keeps
+        below half the queue (or below the compaction threshold for
+        small queues).
+        """
+        from .scheduler import _COMPACT_MIN_QUEUE
+        sched = self.scheduler
+        self.audit_scope.register(
+            "sched.queue", lambda: sched.pending_events, floor=None,
+            owner="scheduler", gauge="sched.state.queue_depth")
+        self.audit_scope.register(
+            "sched.queue.stale", lambda: sched._cancelled_in_queue,
+            floor=lambda: max(len(sched._queue) // 2, _COMPACT_MIN_QUEUE - 1),
+            owner="scheduler", gauge="sched.state.stale_entries")
+
+    def audit(self, strict: bool = False) -> AuditReport:
+        """Run the resource-leak audit over every registered collection.
+
+        Returns the :class:`~repro.obs.AuditReport`; with ``strict=True``
+        raises :class:`~repro.errors.AuditError` on any collection above
+        its declared floor.  Also publishes the ``*.state.*`` gauge
+        family into ``world.metrics`` (created on first audit)."""
+        report = self.audit_scope.audit()
+        if strict:
+            report.assert_clean()
+        return report
 
     def metrics_json(self, include_wall: bool = False) -> str:
         """Canonical JSON snapshot (byte-identical across seeded reruns

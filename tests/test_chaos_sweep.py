@@ -46,6 +46,9 @@ def run_scenario(victim_index, crash_delay, seed=5):
                                            timeout=600))
     world.run(until=world.now + 2.0)
     counts = set(replica_counts(domain, group).values())
+    # Quiescence also means reclamation: no live component may hold
+    # per-client state above its declared floor (repro.obs.audit).
+    world.audit(strict=True)
     return victim, results, counts
 
 

@@ -20,6 +20,10 @@ def test_drain_serves_in_flight_requests_before_stopping(world):
     # ...and only then does the gateway stop.
     world.await_promise(drained, timeout=600)
     assert not gateway.alive
+    # A drained gateway leaves nothing above its floors behind (its own
+    # frozen tables are skipped as inactive; the rest must be clean).
+    world.run(until=world.now + 1.0)
+    world.audit(strict=True)
 
 
 def test_drained_gateway_refuses_new_connections(world):
@@ -45,6 +49,8 @@ def test_drain_with_redundant_gateway_is_invisible_to_enhanced_clients(world):
     # The next invocation fails over to the second gateway and succeeds.
     assert world.await_promise(stub.call("increment", 1), timeout=600) == 2
     assert layer.failover_log
+    world.run(until=world.now + 1.0)
+    world.audit(strict=True)
 
 
 def test_drain_idle_gateway_stops_immediately(world):

@@ -110,5 +110,9 @@ def test_cancel_for_unknown_connection_is_ignored(world):
     endpoint, replies = raw_gateway_connection(world, domain)
     endpoint.send(encode_cancel_request(5))
     world.run(until=world.now + 0.2)
-    assert domain.gateways[0].stats.get("cancels") is None
+    # The stat is declared up front (no lazy creation) and must not
+    # move for a cancel on a connection with no identified client.
+    assert domain.gateways[0].stats["cancels"] == 0
+    assert domain.gateways[0].metrics.counter(
+        "gateway.req.cancelled").value == 0
     assert endpoint.open  # the gateway did not kill the connection

@@ -1,0 +1,237 @@
+"""Regression tests: per-client gateway state must be reclaimed.
+
+Each test pins one of the state-lifecycle leaks fixed alongside the
+resource-leak audit.  All of them were invisible to the functional
+suite — responses still flowed correctly — while a per-client table
+grew without bound:
+
+* cancel tombstones in ``_cancelled`` survived the late response;
+* one-way requests parked in ``_pending`` were never popped (no
+  response ever arrives to pop them);
+* a client closing with operations still pending suppressed the
+  CLIENT_GONE broadcast forever, stranding mirror state at every peer;
+* the warm-passive primary logged every invocation but never truncated
+  its own log.
+"""
+
+import pytest
+
+from repro import ReplicationStyle, Servant, World
+from repro.iiop import TC_LONG, TC_STRING, TC_VOID, encode_cancel_request
+from repro.orb import Interface, Operation, Param
+
+from tests.helpers import external_client, make_counter_group, make_domain
+
+EVENTS = Interface("EventSink", [
+    Operation("emit", [Param("note", TC_STRING)], TC_VOID, oneway=True),
+    Operation("count", [], TC_LONG),
+])
+
+
+class EventSinkServant(Servant):
+    interface = EVENTS
+
+    def __init__(self):
+        self.notes = []
+
+    def emit(self, note):
+        self.notes.append(note)
+
+    def count(self):
+        return len(self.notes)
+
+
+def hold_forward(gateway):
+    """Intercept the gateway's domain forward so requests stay pending."""
+    held = []
+    original = gateway._forward
+    gateway._forward = lambda pending: held.append(pending)
+    return held, original
+
+
+def send_cancel_for_last_request(world, orb, settle=0.1):
+    connection = orb._connections[next(iter(orb._connections))]
+    request_id = connection.pending_request_ids()[-1]
+    connection.endpoint.send(encode_cancel_request(request_id))
+    world.run(until=world.now + settle)
+
+
+def test_cancelled_entry_discarded_when_response_arrives(world):
+    """A CancelRequest leaves a tombstone so the late response is not
+    written to the socket — but the response's arrival must also
+    consume the tombstone."""
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    orb, stub, _ = external_client(world, domain, group, enhanced=False)
+    world.await_promise(stub.call("increment", 1))
+    held, original = hold_forward(gateway)
+    promise = stub.call("increment", 10)
+    world.run(until=world.now + 0.1)
+    send_cancel_for_last_request(world, orb)
+    assert len(gateway._cancelled) == 1
+    # Release the invocation: it executes, the response arrives late.
+    gateway._forward = original
+    gateway._forward(held[0])
+    world.run(until=world.now + 1.0)
+    assert not promise.done          # still not routed to the socket
+    assert gateway._cancelled == set()  # ...and the tombstone is gone
+    assert gateway.stats["responses_unroutable"] == 1
+    world.audit(strict=True)
+
+
+def test_cancel_tombstone_reaped_by_ttl_when_no_response_comes(world):
+    """If the cancelled operation's response never arrives (its server
+    group died), the tombstone and its filter expectation are reclaimed
+    by TTL instead."""
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    orb, stub, _ = external_client(world, domain, group, enhanced=False)
+    world.await_promise(stub.call("increment", 1))
+    hold_forward(gateway)  # the invocation is never multicast
+    stub.call("increment", 10)
+    world.run(until=world.now + 0.1)
+    send_cancel_for_last_request(world, orb)
+    assert gateway.stats["cancels"] == 1
+    assert len(gateway._cancelled) == 1
+    assert gateway._filter.pending_count == 1
+    world.run(until=world.now + gateway.cancel_ttl + 1.0)
+    assert gateway._cancelled == set()
+    assert gateway.stats["cancels_reaped"] == 1
+    assert gateway._filter.pending_count == 0
+    assert gateway._reap_timer is None  # nothing left to reap
+    world.audit(strict=True)
+
+
+def test_oneway_pending_records_reclaimed_on_observed_delivery(world):
+    """One-way requests get a ``_pending`` record (takeover re-forwards
+    need it) but no response ever pops it; observing the forwarded
+    INVOCATION's delivery must."""
+    domain = make_domain(world, gateways=2)
+    group = domain.create_group("Events", EVENTS, EventSinkServant)
+    _, stub, _ = external_client(world, domain, group)
+    for i in range(20):
+        stub.call("emit", f"note-{i}")
+    assert world.await_promise(stub.call("count"), timeout=600) == 20
+    world.run(until=world.now + 1.0)
+    completed = 0
+    for gateway in domain.gateways:
+        assert gateway._pending == {}
+        completed += gateway.stats["oneways_completed"]
+    # Both the forwarding gateway's records and the mirror records at
+    # its peer are reclaimed the same way.
+    assert completed >= 20
+    world.audit(strict=True)
+
+
+def test_client_gone_deferred_until_last_pending_resolves(world):
+    """A client closing with an operation still in flight must not
+    suppress the CLIENT_GONE broadcast forever: it fires once the last
+    pending operation resolves, and every gateway then purges the
+    departed client's state."""
+    domain = make_domain(world, gateways=2)
+    group = make_counter_group(domain)
+    orb, stub, _ = external_client(world, domain, group, enhanced=False)
+    world.await_promise(stub.call("increment", 1))
+    origin = next(gw for gw in domain.gateways if gw._conn_ids)
+    peer = next(gw for gw in domain.gateways if gw is not origin)
+    held, original = hold_forward(origin)
+    stub.call("increment", 10)
+    world.run(until=world.now + 0.1)
+    assert held
+    client_id = next(iter(origin._routing))
+    # The client disconnects while the operation is still pending.
+    orb._connections[next(iter(orb._connections))].close()
+    world.run(until=world.now + 0.5)
+    # The broadcast is deferred: the peer still needs its mirror record
+    # to collect the response (section 3.5).
+    assert origin.stats["client_gone_deferred"] == 1
+    assert client_id in origin._gone_pending
+    assert origin.stats["clients_gone"] == 0
+    assert (client_id, held[0].op_id) in peer._pending
+    # Let the operation complete: the deferred broadcast now fires.
+    origin._forward = original
+    origin._forward(held[0])
+    world.run(until=world.now + 1.0)
+    assert origin._gone_pending == set()
+    for gateway in domain.gateways:
+        assert gateway.stats["clients_gone"] == 1
+        assert not any(k[0] == client_id for k in gateway._pending)
+        assert not any(k[0] == client_id for k in gateway._cache)
+        assert client_id not in gateway._routing
+    world.audit(strict=True)
+
+
+def test_returning_client_voids_deferred_departure(world):
+    """If the same client identifiers reconnect before the deferred
+    CLIENT_GONE fires, the departure is void — a purge now would delete
+    state the reissues are about to claim."""
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    _, stub, _ = external_client(world, domain, group, enhanced=True)
+    world.await_promise(stub.call("increment", 1))
+    held, original = hold_forward(gateway)
+    promise = stub.call("increment", 10)
+    world.run(until=world.now + 0.1)
+    assert held
+    # The connection drops mid-operation; the enhanced client then
+    # reconnects with the same identifiers and reissues (section 3.5).
+    stub.requester.connection.close()
+    world.run(until=world.now + 0.5)
+    # The departure was deferred at close, then voided by the reissue.
+    assert gateway.stats["client_gone_deferred"] == 1
+    assert gateway._gone_pending == set()
+    assert gateway.stats["clients_gone"] == 0
+    gateway._forward = original
+    for pending in held:
+        gateway._forward(pending)
+    assert world.await_promise(promise, timeout=600) == 11
+    world.run(until=world.now + 1.0)
+    # The client is still here: no purge may ever have fired.
+    assert gateway.stats["clients_gone"] == 0
+    world.audit(strict=True)
+
+
+def test_cancel_after_response_delivery_leaves_no_tombstone(world):
+    """A CancelRequest that loses the race against the reply (the
+    response was already written back) must not leave a tombstone —
+    nothing would ever consume it but the TTL."""
+    domain = make_domain(world, gateways=1)
+    group = make_counter_group(domain)
+    gateway = domain.gateways[0]
+    orb, stub, _ = external_client(world, domain, group, enhanced=False)
+    assert world.await_promise(stub.call("increment", 1)) == 1
+    connection = orb._connections[next(iter(orb._connections))]
+    connection.endpoint.send(encode_cancel_request(1))  # the completed call
+    world.run(until=world.now + 0.5)
+    assert gateway.stats["cancels"] == 1
+    assert gateway._cancelled == set()
+    assert gateway._reap_timer is None
+    world.audit(strict=True)
+
+
+def test_cancel_stat_and_counter_declared_up_front(world):
+    domain = make_domain(world, gateways=1)
+    gateway = domain.gateways[0]
+    assert gateway.stats["cancels"] == 0
+    assert gateway.metrics.counter("gateway.req.cancelled").value == 0
+
+
+def test_warm_passive_primary_log_is_truncated_by_its_own_updates(world):
+    """The warm-passive primary multicasts a state update per operation
+    and every backup truncates on install — the primary's own log must
+    shrink the same way, not grow by one entry per operation."""
+    domain = make_domain(world, num_hosts=4, gateways=1)
+    group = make_counter_group(domain, style=ReplicationStyle.WARM_PASSIVE,
+                               replicas=3, min_replicas=2)
+    domain.await_ready(group)
+    _, stub, _ = external_client(world, domain, group)
+    for _ in range(25):
+        world.await_promise(stub.call("increment", 1), timeout=600)
+    world.run(until=world.now + 1.0)
+    primary = group.info().primary(domain.coordinator_rm().live_hosts)
+    log = domain.rms[primary].logs[group.group_id]
+    assert len(log) <= group.info().checkpoint_interval + 1
+    world.audit(strict=True)

@@ -22,13 +22,20 @@ from tests.test_obs_determinism import run_failover_scenario
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
-# Counters added by the hot-path overhaul: absent from the goldens,
+# Counters added after the goldens were captured (hot-path overhaul,
+# then the state-lifecycle hardening): absent from the goldens,
 # excluded from byte-for-byte comparison.  Everything else must match.
 NEW_COUNTERS = {
     "sched.timers.rescheduled",
     "sched.queue.compactions",
     "totem.broadcast.batched_deliveries",
     "giop.bytes.zero_copy",
+    # State-lifecycle hardening (gateway retention layer).
+    "gateway.req.cancelled",
+    "gateway.reap.cancelled",
+    "gateway.oneway.completed",
+    "gateway.reap.oneway",
+    "gateway.clients.gone_deferred",
 }
 
 

@@ -47,8 +47,12 @@ def build(seed):
     return world, domain, group, stub
 
 
-def run(faults, operations, seed=5):
-    """faults: list of (victim host name index, delay seconds)."""
+def run(faults, operations, seed=5, audit=False):
+    """faults: list of (victim host name index, delay seconds).
+
+    With ``audit=True`` the scenario additionally runs the world's
+    resource-leak audit at quiescence (see repro.obs.audit) and fails
+    if any live component holds state above its declared floor."""
     world, domain, group, stub = build(seed)
     victims = [h.name for h in domain.hosts]
     gateway_hosts = {gw.host.name for gw in domain.gateways}
@@ -75,6 +79,10 @@ def run(faults, operations, seed=5):
                 if record is not None and rm.alive and record.ready:
                     counts.add(record.servant.count)
             if len(counts) <= 1:
+                if audit:
+                    leak = _audit_detail(world)
+                    if leak is not None:
+                        return False, leak
                 return True, "all gateways dead: clean failure"
         return False, f"client error: {type(exc).__name__}: {exc}"
     world.run(until=world.now + 2.0)
@@ -87,7 +95,21 @@ def run(faults, operations, seed=5):
         return False, f"results {results}"
     if counts != {operations}:
         return False, f"replica divergence {counts}"
+    if audit:
+        leak = _audit_detail(world)
+        if leak is not None:
+            return False, leak
     return True, "ok"
+
+
+def _audit_detail(world):
+    """None when the audit is clean, else a one-line leak description."""
+    report = world.audit()
+    if report.ok:
+        return None
+    return "resource leak: " + "; ".join(
+        f"{row.owner}/{row.name} size={row.size} > floor={row.floor}"
+        for row in report.violations)
 
 
 def main() -> int:
@@ -96,6 +118,9 @@ def main() -> int:
                         help="also sweep ordered fault pairs")
     parser.add_argument("--grid-ms", type=int, default=50)
     parser.add_argument("--ops", type=int, default=4)
+    parser.add_argument("--audit", action="store_true",
+                        help="also run the resource-leak audit at "
+                             "quiescence of every scenario")
     args = parser.parse_args()
 
     grid = [t / 1000.0 for t in range(10, 600, args.grid_ms)]
@@ -107,7 +132,7 @@ def main() -> int:
     print(f"single-fault sweep: {processors} victims x {len(grid)} instants")
     for index, delay in itertools.product(range(processors), grid):
         total += 1
-        ok, detail = run([(index, delay)], args.ops)
+        ok, detail = run([(index, delay)], args.ops, audit=args.audit)
         if not ok:
             failures.append((f"single victim={index} t={delay}", detail))
 
@@ -118,7 +143,8 @@ def main() -> int:
             if t2 <= t1 or i1 == i2:
                 continue
             total += 1
-            ok, detail = run([(i1, t1), (i2, t2)], args.ops)
+            ok, detail = run([(i1, t1), (i2, t2)], args.ops,
+                             audit=args.audit)
             if not ok:
                 failures.append(
                     (f"double ({i1}@{t1}, {i2}@{t2})", detail))

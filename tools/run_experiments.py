@@ -35,6 +35,7 @@ EXPERIMENT_OF_FILE = {
     "bench_workload_mix": "E11 Workload latency models",
     "bench_state_transfer": "E12 State transfer vs state size",
     "bench_ablation_totem_tuning": "E13 Totem tuning ablation",
+    "bench_gateway_state_lifecycle": "E14 Gateway state lifecycle & audit",
 }
 
 
