@@ -21,8 +21,12 @@ from common import build_domain, counter_group, external_stub
 TOTAL_REQUESTS = 24
 
 
-def run_clients(num_clients):
-    world = World(seed=1000 + num_clients, trace=False)
+def run_clients(num_clients, trace_spans=False):
+    """Run the fixed workload; ``trace_spans`` turns on causal tracing
+    (used by ``tools/bench_compare.py --trace-overhead`` to measure the
+    instrumentation cost against the default untraced run)."""
+    world = World(seed=1000 + num_clients, trace=False,
+                  trace_spans=trace_spans)
     domain = build_domain(world, gateways=1)
     group = counter_group(domain)
     stubs = []

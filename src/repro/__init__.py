@@ -60,6 +60,7 @@ from .eternal import (
     ReplicationStyle,
 )
 from .iiop import Ior
+from .obs import TraceCollector, TraceSpan
 from .orb import Interface, NestedCall, Operation, Orb, Param, Servant, Stub
 from .sim import LatencyModel, Promise, World
 from .totem import TotemConfig, TotemMember
@@ -100,6 +101,8 @@ __all__ = [
     "SimulationError",
     "Stub",
     "TotemConfig",
+    "TraceCollector",
+    "TraceSpan",
     "TotemMember",
     "TransientError",
     "UNUSED_CLIENT_ID",

@@ -7,7 +7,11 @@ domain status report.  Useful as a smoke test of an installation.
 ``--metrics`` appends the world's metrics registry after the report;
 ``--metrics-json`` prints the canonical JSON snapshot instead of the
 table (byte-identical across runs of the same seed); ``--audit`` runs
-the resource-leak audit at quiescence and fails the run on any leak.
+the resource-leak audit at quiescence and fails the run on any leak;
+``--trace`` enables causal tracing and prints the span tree of every
+invocation; ``--trace-json`` prints the Chrome ``trace_event`` JSON
+instead (load it in Perfetto / ``about:tracing``, or feed it to
+``tools/trace_report.py`` for a critical-path breakdown).
 """
 
 from __future__ import annotations
@@ -32,10 +36,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--audit", action="store_true",
                         help="run the resource-leak audit at quiescence; "
                              "a leak fails the run")
+    parser.add_argument("--trace", action="store_true",
+                        help="record causal traces and print the span tree")
+    parser.add_argument("--trace-json", action="store_true",
+                        help="record causal traces and print Chrome "
+                             "trace_event JSON (Perfetto-loadable)")
     parser.add_argument("--seed", type=int, default=2026,
                         help="world seed (default: 2026)")
     args = parser.parse_args(argv)
-    world = World(seed=args.seed)
+    tracing = args.trace or args.trace_json
+    world = World(seed=args.seed, trace_spans=tracing)
     domain = FaultToleranceDomain(world, "demo", num_hosts=3)
     domain.add_gateway(port=2809)
     domain.add_gateway(port=2809)
@@ -77,6 +87,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(world.metrics_report())
     if args.metrics_json:
         print(world.metrics_json())
+    if args.trace:
+        print("\ncausal traces:")
+        print(world.trace_tree())
+    if args.trace_json:
+        print(world.trace_chrome_json())
     return 0 if ok else 1
 
 

@@ -31,7 +31,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..errors import CommFailure
 from ..iiop.giop import RequestMessage, ServiceContext
 from ..iiop.ior import Ior
-from ..iiop.service_context import ClientIdContext
+from ..iiop.service_context import ClientIdContext, SpanContext
 from ..orb.connection import IiopClientConnection
 from ..orb.dispatch import decode_result
 from ..orb.idl import Interface, Operation
@@ -62,13 +62,36 @@ class FtRequester(Requester):
         self._failover_scheduled = False
         self._failovers_since_reply = 0
         self.stats = {"sent": 0, "reissued": 0, "failovers": 0}
+        # Open client.request root spans, keyed by request id (causal
+        # tracing; empty unless the world's collector is enabled).
+        self._trace_roots: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Requester interface
     # ------------------------------------------------------------------
 
-    def service_contexts(self) -> List[ServiceContext]:
-        return [self.layer.context.to_service_context()]
+    def service_contexts(self,
+                         request_id: Optional[int] = None) -> List[ServiceContext]:
+        contexts = [self.layer.context.to_service_context()]
+        spans = self.orb.spans
+        if request_id is not None and spans.enabled:
+            # Root the invocation's trace here, at request marshalling:
+            # the deterministic trace id names the originator and the
+            # request, and the gateway parents its own spans under the
+            # root it finds in this context.  Reissues after a failover
+            # retransmit the same encoded bytes, so the whole failover
+            # story lands in one trace.
+            ctx = self.layer.context
+            trace_id = f"{ctx.client_uid}#{ctx.incarnation}/{request_id}"
+            source = f"client/{ctx.client_uid}"
+            root = spans.start(trace_id, "client.request", source=source,
+                               request_id=request_id)
+            spans.instant(trace_id, "client.marshal", parent=root,
+                          source=source)
+            self._trace_roots[request_id] = root
+            contexts.append(
+                SpanContext(trace_id, root, hop=0).to_service_context())
+        return contexts
 
     def send(self, stub: Stub, op: Operation, request: RequestMessage,
              encoded: bytes, promise: Promise) -> None:
@@ -77,6 +100,11 @@ class FtRequester(Requester):
                 self._ensure_connection().send_oneway(encoded)
             except CommFailure:
                 self._schedule_failover()
+            # One-ways complete at transmission: close the trace root
+            # now (no reply will ever close it).
+            self.orb.spans.end(
+                self._trace_roots.pop(request.request_id, 0),
+                op=op.name, oneway=True)
             promise.resolve(None)
             return
         self.pending[request.request_id] = _PendingInvocation(
@@ -117,6 +145,8 @@ class FtRequester(Requester):
         if entry is None or entry.promise.done:
             return
         self._failovers_since_reply = 0
+        self.orb.spans.end(self._trace_roots.pop(request_id, 0),
+                           op=entry.op.name)
         try:
             value = decode_result(entry.op, reply,
                                   little_endian=reply.little_endian)
@@ -147,7 +177,9 @@ class FtRequester(Requester):
             # Every gateway profile failed repeatedly: give up like the
             # paper's client would once the IOR is exhausted.
             error = CommFailure("all gateway profiles unreachable")
-            for entry in list(self.pending.values()):
+            for request_id, entry in list(self.pending.items()):
+                self.orb.spans.end(self._trace_roots.pop(request_id, 0),
+                                   op=entry.op.name, error="CommFailure")
                 entry.promise.reject(error)
             self.pending.clear()
             return

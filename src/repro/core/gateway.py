@@ -38,7 +38,7 @@ from typing import Dict, List, Tuple, TYPE_CHECKING
 
 from ..errors import ObjectNotExist
 from ..iiop.giop import MsgType, decode_request, parse_header
-from ..iiop.service_context import extract_client_id
+from ..iiop.service_context import extract_client_id, extract_trace_context
 from ..orb.connection import IiopServerConnection
 from ..orb.dispatch import reply_for_exception
 from ..sim.host import Host, Process
@@ -71,6 +71,15 @@ class _PendingRequest:
     # header fields) never changes between forwards, so there is no
     # reason to rebuild and re-weigh it per forward.
     forward_message: "DomainMessage" = None  # type: ignore[assignment]
+    # Causal tracing (repro.obs.tracing): the invocation's trace id,
+    # hop count, container span (gateway.request, receipt -> egress)
+    # and the open ordering-wait span of the last forward.  All zero
+    # when tracing is disabled or the record came from an untraced
+    # mirror.
+    trace_id: str = ""
+    trace_hop: int = 0
+    trace_span: int = 0
+    order_span: int = 0
 
 
 class Gateway(Process):
@@ -93,6 +102,9 @@ class Gateway(Process):
         self.rm.attach_gateway(self)
         self.rm.on_membership_change(self._on_membership)
         self.tracer = domain.world.tracer
+        # World-shared causal-trace collector, cached off the property
+        # for the hot path; every hook below checks ``.enabled`` first.
+        self._span_collector = host.network.spans
 
         self._listener = None
         # Per-server-group client-id counters (section 3.2); the counter
@@ -320,6 +332,26 @@ class Gateway(Process):
         op_id = external_operation_id(request.request_id)
         cache_key = (client_id, op_id)
 
+        # Causal tracing: continue the trace carried in the request's
+        # service context (enhanced clients), or root a gateway-owned
+        # trace for plain clients.  The container span covers this
+        # gateway's whole handling of the invocation, receipt to egress.
+        spans = self._span_collector
+        trace_id, trace_hop, container = "", 0, 0
+        if spans.enabled:
+            tctx = extract_trace_context(request)
+            if tctx is not None:
+                trace_id, parent, trace_hop = (tctx.trace_id, tctx.span_id,
+                                               tctx.hop)
+            else:
+                trace_id, parent = (
+                    f"gw/{self.name}/{client_id}/{request.request_id}", 0)
+            container = spans.start(
+                trace_id, "gateway.request", parent=parent, source=self.name,
+                op=request.operation, client=str(client_id), hop=trace_hop)
+            spans.instant(trace_id, "gateway.ingress", parent=container,
+                          source=self.name)
+
         cached = self._cache.get(cache_key)
         if cached is not None:
             # A reinvocation whose response we already hold (the client
@@ -327,13 +359,23 @@ class Gateway(Process):
             self.stats["cache_replays"] += 1
             self._m_cache_replays.inc()
             connection.send(cached)
+            if container:
+                spans.instant(trace_id, "gateway.cache.replay",
+                              parent=container, source=self.name)
+                spans.end(container, outcome="cache_replay")
             return
 
         pending = _PendingRequest(
             client_id=client_id, op_id=op_id, target_group=target_group,
             iiop=message, forwarder=self.host.name,
             response_expected=request.response_expected,
-            received_at=received_at)
+            received_at=received_at,
+            trace_id=trace_id, trace_hop=trace_hop, trace_span=container)
+        if container:
+            # IIOP -> Totem translation (Figure 5a: identify, build the
+            # Figure 4 header) happens here, within the receipt event.
+            spans.instant(trace_id, "gateway.translate", parent=container,
+                          source=self.name, group=target_group)
         self._pending[cache_key] = pending
         if request.response_expected:
             self._filter.expect((target_group, client_id, op_id),
@@ -356,7 +398,7 @@ class Gateway(Process):
                 # (and the totem byte metrics) is unchanged for the
                 # common two-way case.
                 data["response_expected"] = False
-            self.rm.multicast(DomainMessage(
+            mirror = DomainMessage(
                 kind=MsgKind.GATEWAY_MIRROR,
                 source_group=GATEWAY_GROUP,
                 target_group=GATEWAY_GROUP,
@@ -364,7 +406,13 @@ class Gateway(Process):
                 op_id=op_id,
                 iiop=message,
                 data=data,
-            ))
+            )
+            if container:
+                # Out-of-band: lets peer gateways keep tracing the
+                # invocation after a takeover (weightless, see
+                # DomainMessage.trace).
+                mirror.trace = (trace_id, container, trace_hop)
+            self.rm.multicast(mirror)
         self._forward(pending)
 
     def _on_locate_request(self, message: bytes,
@@ -425,6 +473,17 @@ class Gateway(Process):
                 op_id=pending.op_id,
                 iiop=pending.iiop,
             )
+            if pending.trace_span:
+                message.trace = (pending.trace_id, pending.trace_span,
+                                 pending.trace_hop)
+        if pending.trace_span:
+            # Ordering wait: multicast into the ring until this
+            # gateway observes the agreed delivery (ended in
+            # observe_delivered); a takeover re-forward opens a fresh
+            # one, so the dead forwarder's wait stays truthfully open.
+            pending.order_span = self._span_collector.start(
+                pending.trace_id, "totem.order.invocation",
+                parent=pending.trace_span, source=self.name)
         self.rm.multicast(message)
 
     def _identify_client(self, request, connection: IiopServerConnection,
@@ -509,6 +568,12 @@ class Gateway(Process):
             key = (msg.client_id, msg.op_id)
             record = self._pending.get(key)
             if record is not None:
+                if record.order_span:
+                    # The forwarding gateway saw its own multicast come
+                    # back in the total order: the ordering wait is over.
+                    self._span_collector.end(record.order_span,
+                                             seq=msg.timestamp)
+                    record.order_span = 0
                 record.forwarded = True
                 if not record.response_expected:
                     # One-way: the delivered forward *is* the operation's
@@ -522,9 +587,23 @@ class Gateway(Process):
 
     def _on_domain_response(self, msg: "DomainMessage") -> None:
         self._m_resp_received.inc()
+        spans = self._span_collector
+        tr = msg.trace if spans.enabled else None
+        if tr is not None and msg._trace_order:
+            # First gateway to observe the agreed response ends the
+            # responder's ordering-wait span (end() is first-close-wins,
+            # so the remaining gateways' observations are no-ops).
+            spans.end(msg._trace_order, seq=msg.timestamp)
         filter_key = (msg.source_group, msg.client_id, msg.op_id)
         verdict, payload = self._filter.offer(
             filter_key, msg.iiop, responder=msg.data.get("responder"))
+        if tr is not None:
+            # One duplicate-suppression event per gateway per response
+            # (Figure 3): the verdicts across gateways partition
+            # gateway.resp.received exactly like the metric counters.
+            spans.instant(tr[0], "gateway.response", parent=tr[1],
+                          source=self.name, verdict=str(verdict),
+                          responder=str(msg.data.get("responder")))
         if verdict == DuplicateSuppressor.DUPLICATE:
             self.stats["duplicates_suppressed"] += 1
             self._m_dup_suppressed.inc()
@@ -546,6 +625,8 @@ class Gateway(Process):
             # to be reclaimed by a reissue (bounded gateway memory).
             self._cache.pop(next(iter(self._cache)))
         record = self._pending.pop(cache_key, None)
+        container = (record.trace_span if record is not None
+                     and record.trace_span else (tr[1] if tr else 0))
         if cache_key in self._cancelled:
             # The client withdrew interest (CancelRequest): keep the
             # cached response (a reissue may still claim it) but do not
@@ -555,6 +636,8 @@ class Gateway(Process):
             self._cancelled.discard(cache_key)
             self.stats["responses_unroutable"] += 1
             self._m_resp_unroutable.inc()
+            if tr is not None:
+                spans.end(container, outcome="cancelled", by=self.name)
             self._maybe_flush_client_gone(msg.client_id)
             return
         connection = self._routing.get(msg.client_id)
@@ -567,12 +650,27 @@ class Gateway(Process):
                 # unreplicated client observes at this gateway.
                 self._m_req_latency.observe(
                     self.scheduler.now - record.received_at)
+            if tr is not None:
+                # The egress instant and the container close share this
+                # event's clock with the latency observation above, so
+                # metrics and trace are provably consistent
+                # (tests/test_obs_tracing.py).
+                spans.instant(tr[0], "gateway.egress", parent=container,
+                              source=self.name)
+                spans.end(container, outcome="delivered", by=self.name)
             self.tracer.emit(self.scheduler.now, "gateway.deliver", self.name,
                              "response delivered",
                              client=msg.client_id, op=str(msg.op_id))
         else:
             self.stats["responses_unroutable"] += 1
             self._m_resp_unroutable.inc()
+            if (tr is not None and record is not None and record.trace_span
+                    and record.forwarder == self.host.name):
+                # Only the gateway that owned the request closes here;
+                # mirror observers without the client socket routinely
+                # take this branch and must not close the container the
+                # routing gateway is about to stamp its egress into.
+                spans.end(container, outcome="unroutable", by=self.name)
         self._maybe_flush_client_gone(msg.client_id)
 
     def _on_mirror(self, msg: "DomainMessage") -> None:
@@ -583,11 +681,17 @@ class Gateway(Process):
         cache_key = (msg.client_id, msg.op_id)
         response_expected = msg.data.get("response_expected", True)
         if cache_key not in self._pending and cache_key not in self._cache:
+            tr = msg.trace
             record = _PendingRequest(
                 client_id=msg.client_id, op_id=msg.op_id,
                 target_group=msg.data["target_group"], iiop=msg.iiop,
                 forwarder=msg.data["forwarder"],
-                response_expected=response_expected)
+                response_expected=response_expected,
+                # Mirrored trace linkage: a takeover re-forward keeps
+                # reporting into the original invocation's container.
+                trace_id=tr[0] if tr else "",
+                trace_span=tr[1] if tr else 0,
+                trace_hop=tr[2] if tr else 0)
             self._pending[cache_key] = record
             if not response_expected:
                 self._schedule_reap("oneway", cache_key, record,

@@ -32,7 +32,7 @@ from ..core.identifiers import OperationId, UNUSED_CLIENT_ID
 from ..errors import ConfigurationError
 from ..iiop.giop import RequestMessage, encode_reply, encode_request
 from ..iiop.ior import Ior
-from ..iiop.service_context import ClientIdContext
+from ..iiop.service_context import ClientIdContext, SpanContext
 from ..orb.connection import IiopClientConnection
 from ..orb.dispatch import encode_arguments
 from ..orb.idl import Operation
@@ -96,20 +96,30 @@ class DomainEgress:
         return info.primary(self.rm.live_hosts) == self.rm.host.name
 
     def issue(self, source_group: int, op_id: OperationId,
-              call: NestedCall) -> None:
-        """Record the outstanding call; transmit if we are the egress."""
+              call: NestedCall, trace=None) -> None:
+        """Record the outstanding call; transmit if we are the egress.
+
+        ``trace`` is an optional (trace_id, parent_span_id, hop) tuple;
+        when present the request carries a trace service context so the
+        remote domain's gateway continues the caller's causal trace
+        across the domain boundary.
+        """
         op = self.operation_for(call)
         ior = Ior.from_string(call.target)
         profiles = [p.address for p in ior.iiop_profiles()]
         object_key = ior.primary_profile().object_key
         request_id = ((op_id.parent_ts & 0xFFFFFF) << 8) | (op_id.child_seq & 0xFF)
+        contexts = [ClientIdContext(
+            self._client_uid(source_group)).to_service_context()]
+        if trace is not None:
+            contexts.append(SpanContext(
+                trace[0], trace[1], hop=trace[2]).to_service_context())
         request = RequestMessage(
             request_id=request_id,
             response_expected=not op.oneway,
             object_key=object_key,
             operation=op.name,
-            service_contexts=[ClientIdContext(
-                self._client_uid(source_group)).to_service_context()],
+            service_contexts=contexts,
             body=encode_arguments(op, call.args),
         )
         record = _EgressRecord(

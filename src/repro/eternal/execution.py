@@ -74,6 +74,9 @@ class Execution:
         self._generator = None
         self._child_counter = 0
         self.finished = False
+        # Open ``rm.execute`` span id while this execution is in flight
+        # (0 when tracing is disabled or the invocation was untraced).
+        self.trace_span = 0
 
     # ------------------------------------------------------------------
 

@@ -71,6 +71,17 @@ class DomainMessage:
     iiop: bytes = b""
     data: Dict[str, Any] = field(default_factory=dict)
     _size_hint: Optional[int] = field(default=None, repr=False, compare=False)
+    # Causal-trace propagation (repro.obs.tracing): a
+    # (trace_id, parent_span_id, hop) tuple, or None when tracing is
+    # off or the originator was untraced; ``_trace_order`` carries the
+    # open ordering-wait span id on RESPONSE messages.  Out-of-band
+    # instrumentation: excluded from equality, from describe(), and —
+    # deliberately — from size_hint(), so byte metrics and goldens are
+    # identical whether or not tracing is enabled.  (On a real wire
+    # this would ride in the GIOP service context, which the header
+    # weight already approximates.)
+    trace: Optional[tuple] = field(default=None, repr=False, compare=False)
+    _trace_order: int = field(default=0, repr=False, compare=False)
 
     def size_hint(self) -> int:
         """Approximate wire size, for network accounting.

@@ -126,6 +126,9 @@ class ReplicationMechanisms(Process):
         self.interfaces = interfaces
         self.factories = factories
         self.tracer = tracer or Tracer(enabled=False)
+        # Causal-trace collector (world-shared); hot paths check
+        # ``.enabled`` before doing any span work.
+        self._span_collector = host.network.spans
 
         self.registry = GroupRegistry()
         self.replicas: Dict[int, ReplicaRecord] = {}
@@ -230,7 +233,7 @@ class ReplicationMechanisms(Process):
         return log
 
     def _respond(self, invocation: DomainMessage, reply_iiop: bytes) -> None:
-        self.multicast(DomainMessage(
+        response = DomainMessage(
             kind=MsgKind.RESPONSE,
             source_group=invocation.target_group,
             target_group=invocation.source_group,
@@ -238,7 +241,17 @@ class ReplicationMechanisms(Process):
             op_id=invocation.op_id,
             iiop=reply_iiop,
             data={"responder": self.host.name},
-        ))
+        )
+        tr = invocation.trace
+        if tr is not None and self._span_collector.enabled:
+            # The response's ordering wait: opened here at multicast,
+            # closed by whichever receiver observes the delivery first
+            # (the span id rides out-of-band on the message).
+            response.trace = tr
+            response._trace_order = self._span_collector.start(
+                tr[0], "totem.order.response", parent=tr[1],
+                source=self.name, responder=self.host.name)
+        self.multicast(response)
 
     # ==================================================================
     # Delivery entry point
@@ -290,9 +303,14 @@ class ReplicationMechanisms(Process):
         key = dedup_key(msg.source_group, msg.client_id, msg.op_id)
         seen = self._invocations_seen.setdefault(msg.target_group, {})
         existing = seen.get(key)
+        tr = msg.trace if self._span_collector.enabled else None
         if existing is not None:
             self.stats["invocations_duplicate"] += 1
             self._m_dup_invocations.inc()
+            if tr is not None:
+                self._span_collector.instant(
+                    tr[0], "rm.duplicate", parent=tr[1], source=self.name,
+                    status=existing.status)
             if existing.status == "done" and existing.response_iiop is not None:
                 # Re-send the cached response: the duplicate may stem from
                 # a reinvocation whose original response was lost with a
@@ -300,6 +318,10 @@ class ReplicationMechanisms(Process):
                 self.stats["responses_resent"] += 1
                 self._respond(msg, existing.response_iiop)
             return
+        if tr is not None:
+            self._span_collector.instant(
+                tr[0], "rm.delivery", parent=tr[1], source=self.name,
+                seq=msg.timestamp)
         # Record before executing so re-entrant deliveries see it.
         request = decode_request(msg.iiop)
         seen[key] = _InvocationRecord(
@@ -370,6 +392,11 @@ class ReplicationMechanisms(Process):
                 f"no interface {info.interface_name!r} registered")
         execution = Execution(record.servant, interface, request,
                               parent_ts=msg.timestamp)
+        if self._span_collector.enabled and msg.trace is not None:
+            tr = msg.trace
+            execution.trace_span = self._span_collector.start(
+                tr[0], "rm.execute", parent=tr[1], source=self.name,
+                op=request.operation)
         self.stats["invocations_executed"] += 1
         self._m_invocations.inc()
         outcome = execution.start()
@@ -388,6 +415,10 @@ class ReplicationMechanisms(Process):
         else:
             reply = reply_for_exception(execution.request.request_id,
                                         outcome.error)
+        if execution.trace_span:
+            self._span_collector.end(execution.trace_span,
+                                     outcome=outcome.kind)
+            execution.trace_span = 0
         seen = self._invocations_seen.setdefault(original.target_group, {})
         seen[key] = _InvocationRecord(status="done", response_iiop=reply,
                                       response_expected=execution.request.response_expected)
@@ -458,6 +489,13 @@ class ReplicationMechanisms(Process):
             op_id=op_id,
             iiop=encode_request(request),
         )
+        tr = original.trace
+        if tr is not None and self._span_collector.enabled:
+            # Nested hop: the child invocation parents under the live
+            # rm.execute span, so Figure 6's parent/child structure is
+            # visible in the exported tree.  Hop count is unchanged —
+            # the call stays inside this domain.
+            message.trace = (tr[0], execution.trace_span or tr[1], tr[2])
         wait_key = (target_info.group_id, info.group_id, op_id)
         self._waiting_nested[wait_key] = _WaitingNested(
             execution=execution, original=original, nested_op=nested_op,
@@ -487,7 +525,12 @@ class ReplicationMechanisms(Process):
             nested_op=self._egress.operation_for(call), group_id=info.group_id,
             call=call, op_id=op_id)
         self._response_filter.expect(wait_key, votes_needed=1)
-        self._egress.issue(info.group_id, op_id, call)
+        tr = original.trace
+        trace = None
+        if tr is not None and self._span_collector.enabled:
+            # Leaving the domain through the remote gateway: hop + 1.
+            trace = (tr[0], execution.trace_span or tr[1], tr[2] + 1)
+        self._egress.issue(info.group_id, op_id, call, trace=trace)
 
     def _votes_needed(self, info: GroupInfo) -> int:
         if not info.style.needs_voting:
@@ -502,6 +545,10 @@ class ReplicationMechanisms(Process):
     def _on_response(self, msg: DomainMessage) -> None:
         if msg.target_group == GATEWAY_GROUP:
             return  # handled by the attached gateway via observe_delivered
+        if msg._trace_order:
+            # Close the response's ordering-wait span at delivery (first
+            # receiver wins; every receiver observes the same instant).
+            self._span_collector.end(msg._trace_order, seq=msg.timestamp)
         if msg.target_group == EXTERNAL_GROUP and msg.client_id != UNUSED_CLIENT_ID:
             self._resolve_external(msg)
             return

@@ -24,6 +24,9 @@ from .giop import RequestMessage, ServiceContext
 # "ET" vendor prefix, service 0x01: Eternal client identification.
 ETERNAL_CLIENT_ID_CONTEXT = 0x45540001
 
+# "ET" vendor prefix, service 0x02: Eternal causal-trace propagation.
+TRACE_CONTEXT = 0x45540002
+
 
 @dataclass(frozen=True)
 class ClientIdContext:
@@ -47,6 +50,39 @@ class ClientIdContext:
         return ClientIdContext(client_uid=uid, incarnation=incarnation)
 
 
+@dataclass(frozen=True)
+class SpanContext:
+    """Causal-trace context carried hop to hop in IIOP requests.
+
+    ``trace_id`` is derived deterministically from the originator
+    (``client_uid # incarnation / request_id`` for enhanced clients,
+    a gateway-rooted name for plain ones), so seeded reruns produce
+    byte-identical traces.  ``span_id`` is the sender-side span the
+    receiver should parent its own spans under; ``hop`` counts domain
+    boundaries crossed (bumped by the egress on cross-domain calls).
+    """
+
+    trace_id: str
+    span_id: int
+    hop: int = 0
+
+    def to_service_context(self) -> ServiceContext:
+        def build(out: CdrOutputStream) -> None:
+            out.write_string(self.trace_id)
+            out.write_ulong(self.span_id)
+            out.write_ulong(self.hop)
+
+        return ServiceContext(TRACE_CONTEXT, encapsulate(build))
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "SpanContext":
+        stream = decapsulate(data)
+        trace_id = stream.read_string()
+        span_id = stream.read_ulong()
+        hop = stream.read_ulong()
+        return SpanContext(trace_id=trace_id, span_id=span_id, hop=hop)
+
+
 def extract_client_id(request: RequestMessage) -> Optional[ClientIdContext]:
     """Pull the Eternal client id out of a request, if present.
 
@@ -59,5 +95,20 @@ def extract_client_id(request: RequestMessage) -> Optional[ClientIdContext]:
         return None
     try:
         return ClientIdContext.from_bytes(raw)
+    except MarshalError:
+        return None
+
+
+def extract_trace_context(request: RequestMessage) -> Optional[SpanContext]:
+    """Pull the causal-trace context out of a request, if present.
+
+    Absent for plain clients (the gateway then roots the trace itself);
+    malformed contexts are treated as absent, like ``extract_client_id``.
+    """
+    raw = request.find_context(TRACE_CONTEXT)
+    if raw is None:
+        return None
+    try:
+        return SpanContext.from_bytes(raw)
     except MarshalError:
         return None

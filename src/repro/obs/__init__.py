@@ -8,8 +8,9 @@ docs/OBSERVABILITY.md for the metric catalogue and clock semantics.
 """
 
 from .audit import AuditEntry, AuditReport, AuditRow, AuditScope
-from .export import parse_json, render_text, to_json
+from .export import parse_json, render_prometheus, render_text, to_json
 from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry, Span
+from .tracing import TraceCollector, TraceSpan
 
 __all__ = [
     "AuditEntry",
@@ -22,7 +23,10 @@ __all__ = [
     "Metric",
     "MetricsRegistry",
     "Span",
+    "TraceCollector",
+    "TraceSpan",
     "parse_json",
+    "render_prometheus",
     "render_text",
     "to_json",
 ]

@@ -44,6 +44,52 @@ def _fmt(value: Any) -> str:
     return str(value)
 
 
+def _prom_name(name: str) -> str:
+    """Dotted series name -> Prometheus metric name (dots to underscores)."""
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_value(value: Any) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def render_prometheus(registry: MetricsRegistry,
+                      include_wall: bool = False) -> str:
+    """Prometheus text-exposition rendering of the registry snapshot.
+
+    Counters and gauges map directly; histograms are flattened into
+    ``_count``/``_sum``/``_min``/``_max`` plus ``_p50``/``_p95``/``_p99``
+    quantile gauges (the streaming buckets are not exposed).  Series
+    names are the dotted names with dots replaced by underscores; output
+    is sorted by name, so it is byte-stable for seeded runs like the
+    JSON form.
+    """
+    snapshot = registry.snapshot(include_wall=include_wall)
+    lines = []
+    for name, data in snapshot.items():
+        base, brace, label_part = name.partition("{")
+        labels = (brace + label_part) if brace else ""
+        metric = _prom_name(base)
+        if data["type"] == "histogram":
+            lines.append(f"# TYPE {metric}_count counter")
+            lines.append(f"{metric}_count{labels} {_prom_value(data['count'])}")
+            lines.append(f"# TYPE {metric}_sum counter")
+            lines.append(f"{metric}_sum{labels} {_prom_value(data['sum'])}")
+            for stat in ("min", "max", "p50", "p95", "p99"):
+                lines.append(f"# TYPE {metric}_{stat} gauge")
+                lines.append(
+                    f"{metric}_{stat}{labels} {_prom_value(data[stat])}")
+        else:
+            kind = "counter" if data["type"] == "counter" else "gauge"
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric}{labels} {_prom_value(data['value'])}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
 def render_text(registry: MetricsRegistry, include_wall: bool = False) -> str:
     """Aligned plain-text report, one metric per line, sorted by name."""
     snapshot = registry.snapshot(include_wall=include_wall)

@@ -73,7 +73,12 @@ class ObjectAdapter:
 class Requester:
     """Strategy interface for transmitting a stub's requests."""
 
-    def service_contexts(self) -> List[ServiceContext]:
+    def service_contexts(self,
+                         request_id: Optional[int] = None) -> List[ServiceContext]:
+        """Contexts to stamp into an outgoing request.  ``request_id``
+        is the id the request will carry (the enhanced layer derives
+        its per-invocation trace context from it); it may be omitted by
+        callers that only need identity contexts."""
         return []
 
     def send(self, stub: "Stub", op: Operation, request: RequestMessage,
@@ -132,7 +137,7 @@ class Stub:
             response_expected=not op.oneway,
             object_key=self.ior.primary_profile().object_key,
             operation=op.name,
-            service_contexts=self.requester.service_contexts(),
+            service_contexts=self.requester.service_contexts(request_id),
             body=encode_arguments(op, args),
         )
         encoded = encode_request(request)

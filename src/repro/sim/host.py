@@ -131,6 +131,11 @@ class Process:
         return self.host.network.audit
 
     @property
+    def spans(self):
+        """The world-shared :class:`~repro.obs.TraceCollector`."""
+        return self.host.network.spans
+
+    @property
     def alive(self) -> bool:
         """True when the process runs on a live host and was started."""
         return self.running and self.host.alive

@@ -18,7 +18,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..obs import AuditScope, MetricsRegistry
+from ..obs import AuditScope, MetricsRegistry, TraceCollector
 from .host import Host
 from .scheduler import Scheduler
 from .trace import Tracer
@@ -85,6 +85,7 @@ class Network:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         audit: Optional[AuditScope] = None,
+        spans: Optional[TraceCollector] = None,
     ) -> None:
         self.scheduler = scheduler
         self.latency_model = latency_model or LatencyModel()
@@ -96,6 +97,10 @@ class Network:
         # The world-owned resource-leak audit scope, shared the same way.
         self.audit = audit if audit is not None else AuditScope(
             metrics=self.metrics, clock=lambda: scheduler.now)
+        # The world-owned causal-trace collector (disabled by default);
+        # every Process reaches it through its ``spans`` property.
+        self.spans = spans if spans is not None else TraceCollector(
+            enabled=False, clock=lambda: scheduler.now)
         self._m_sent = self.metrics.counter("net.datagrams.sent")
         self._m_delivered = self.metrics.counter("net.datagrams.delivered")
         self._m_bytes = self.metrics.counter("net.bytes.sent", unit="B")

@@ -9,6 +9,7 @@ filtered at emit time.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Dict, Iterable, List, NamedTuple, Optional, Set
 
 
@@ -32,12 +33,25 @@ class Tracer:
     * **Records obey both switches.**  A record is retained only when
       the tracer is ``enabled`` *and* the category passes the filter
       (no filter means all categories pass).
+    * **The cap bounds records, never counts.**  With ``max_records``
+      set, ``records`` is a ring buffer keeping only the most recent
+      ``max_records`` entries (soak runs stay bounded), while the
+      category counters keep counting every emit.
     """
 
-    def __init__(self, enabled: bool = True, categories: Optional[Iterable[str]] = None):
+    def __init__(self, enabled: bool = True,
+                 categories: Optional[Iterable[str]] = None,
+                 max_records: Optional[int] = None):
+        if max_records is not None and max_records < 0:
+            raise ValueError("max_records must be >= 0 (or None for unbounded)")
         self.enabled = enabled
         self._allowed: Optional[Set[str]] = set(categories) if categories else None
-        self.records: List[TraceRecord] = []
+        self.max_records = max_records
+        # A deque(maxlen=N) when capped (O(1) eviction), a plain list
+        # otherwise — existing callers compare ``records`` to lists, so
+        # the uncapped default keeps the historical type.
+        self.records = (deque(maxlen=max_records) if max_records is not None
+                        else [])
         self.counters: Dict[str, int] = {}
 
     def emit(
@@ -79,11 +93,11 @@ class Tracer:
         none (previously ``limit=0`` returned the *entire* log, because
         ``records[-0:]`` is the whole list)."""
         if limit is None:
-            rows = self.records
+            rows = list(self.records)
         elif limit <= 0:
             rows = []
         else:
-            rows = self.records[-limit:]
+            rows = list(self.records)[-limit:]
         lines = []
         for r in rows:
             extra = " ".join(f"{k}={v!r}" for k, v in r.data.items())

@@ -15,7 +15,8 @@ import random
 from typing import Any, Iterable, Optional
 
 from ..errors import SimulationError
-from ..obs import AuditReport, AuditScope, MetricsRegistry, render_text, to_json
+from ..obs import (AuditReport, AuditScope, MetricsRegistry, TraceCollector,
+                   render_text, to_json)
 from .faults import FaultInjector
 from .host import Host
 from .network import LatencyModel, Network
@@ -94,9 +95,11 @@ class World:
         latency_model: Optional[LatencyModel] = None,
         trace: bool = True,
         mtu: Optional[int] = None,
+        trace_spans: bool = False,
+        trace_max_records: Optional[int] = None,
     ) -> None:
         self.scheduler = Scheduler()
-        self.tracer = Tracer(enabled=trace)
+        self.tracer = Tracer(enabled=trace, max_records=trace_max_records)
         # One registry per world: the simulated clock is the scheduler,
         # and every component reads the same registry via its network.
         self.metrics = MetricsRegistry(clock=lambda: self.scheduler.now)
@@ -106,9 +109,17 @@ class World:
         # world.audit() checks every one against its declared floor.
         self.audit_scope = AuditScope(metrics=self.metrics,
                                       clock=lambda: self.scheduler.now)
+        # Causal tracing (repro.obs.tracing): disabled by default so a
+        # traced build is byte-identical — metrics, goldens, wire bytes
+        # — to one without the subsystem; ``trace_spans=True`` records
+        # per-invocation span trees on the simulated clock.
+        self.trace_collector = TraceCollector(
+            enabled=trace_spans, clock=lambda: self.scheduler.now,
+            metrics=self.metrics)
         self.network = Network(self.scheduler, latency_model=latency_model,
                                tracer=self.tracer, metrics=self.metrics,
-                               audit=self.audit_scope)
+                               audit=self.audit_scope,
+                               spans=self.trace_collector)
         self._register_scheduler_audit()
         self.tcp = TcpStack(self.network, mtu=mtu)
         self.faults = FaultInjector(self.scheduler, self.network)
@@ -150,6 +161,16 @@ class World:
         if strict:
             report.assert_clean()
         return report
+
+    def trace_chrome_json(self) -> str:
+        """Chrome ``trace_event`` JSON of the recorded spans
+        (byte-identical across seeded reruns); load in ``about:tracing``
+        or Perfetto, or feed to ``tools/trace_report.py``."""
+        return self.trace_collector.export_chrome()
+
+    def trace_tree(self) -> str:
+        """Aligned text tree of the recorded spans, one tree per trace."""
+        return self.trace_collector.export_tree()
 
     def metrics_json(self, include_wall: bool = False) -> str:
         """Canonical JSON snapshot (byte-identical across seeded reruns

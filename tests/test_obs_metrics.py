@@ -14,6 +14,7 @@ from repro.obs import (
     Histogram,
     MetricsRegistry,
     parse_json,
+    render_prometheus,
     render_text,
     to_json,
 )
@@ -238,3 +239,63 @@ def test_render_text_lists_every_metric():
     assert len(lines) == 2
     assert lines[0].startswith("a.count") and "7 B" in lines[0]
     assert "count=1" in lines[1] and "p50=0.5" in lines[1]
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+def test_render_prometheus_empty_registry():
+    assert render_prometheus(MetricsRegistry()) == ""
+
+
+def test_render_prometheus_golden_format():
+    """Exact golden rendering: counters and gauges map 1:1, histograms
+    flatten to _count/_sum plus min/max/quantile gauges, dots become
+    underscores, and output order follows the (sorted) snapshot."""
+    registry = MetricsRegistry()
+    registry.counter("gateway.req.received").inc(3)
+    registry.gauge("rm.state.log_entries").set(12)
+    h = registry.histogram("gateway.req.latency", unit="s")
+    h.observe(0.25)
+    assert render_prometheus(registry) == (
+        "# TYPE gateway_req_latency_count counter\n"
+        "gateway_req_latency_count 1\n"
+        "# TYPE gateway_req_latency_sum counter\n"
+        "gateway_req_latency_sum 0.25\n"
+        "# TYPE gateway_req_latency_min gauge\n"
+        "gateway_req_latency_min 0.25\n"
+        "# TYPE gateway_req_latency_max gauge\n"
+        "gateway_req_latency_max 0.25\n"
+        "# TYPE gateway_req_latency_p50 gauge\n"
+        "gateway_req_latency_p50 0.25\n"
+        "# TYPE gateway_req_latency_p95 gauge\n"
+        "gateway_req_latency_p95 0.25\n"
+        "# TYPE gateway_req_latency_p99 gauge\n"
+        "gateway_req_latency_p99 0.25\n"
+        "# TYPE gateway_req_received counter\n"
+        "gateway_req_received 3\n"
+        "# TYPE rm_state_log_entries gauge\n"
+        "rm_state_log_entries 12\n"
+    )
+
+
+def test_render_prometheus_empty_histogram_quantiles_are_nan():
+    registry = MetricsRegistry()
+    registry.histogram("empty.latency")
+    text = render_prometheus(registry)
+    assert "empty_latency_count 0" in text
+    assert "empty_latency_p50 NaN" in text
+
+
+def test_render_prometheus_is_deterministic():
+    def build():
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc(5)
+        registry.histogram("m.mid").observe(1.5)
+        return render_prometheus(registry)
+
+    first, second = build(), build()
+    assert first == second
+    assert first.index("a_first") < first.index("m_mid") < first.index("z_last")

@@ -38,6 +38,16 @@ NEW_COUNTERS = {
     "gateway.clients.gone_deferred",
 }
 
+# Causal tracing (repro.obs.tracing): created lazily on the first span,
+# so they appear only in runs with tracing enabled — never in the
+# untraced golden scenarios (that absence IS the zero-cost contract).
+TRACE_COUNTERS = {
+    "trace.spans.started",
+    "trace.spans.closed",
+    "trace.traces.started",
+}
+NEW_COUNTERS |= TRACE_COUNTERS
+
 
 def _filter_new_counters(doc):
     data = json.loads(doc) if isinstance(doc, str) else dict(doc)
@@ -110,7 +120,9 @@ def test_new_counters_are_present_and_active():
     _, _, metrics_json = _run_chaos_traced()
     series = json.loads(metrics_json)["metrics"]
     names = {key.split("{")[0] for key in series}
-    assert NEW_COUNTERS <= names
+    assert (NEW_COUNTERS - TRACE_COUNTERS) <= names
+    # Untraced run: the lazy trace counters must NOT have materialised.
+    assert not (TRACE_COUNTERS & names)
     rescheduled = next(v for k, v in series.items()
                        if k.split("{")[0] == "sched.timers.rescheduled")
     batched = next(v for k, v in series.items()

@@ -27,6 +27,12 @@ Wall-clock numbers depend on the machine; refresh the baseline on the
 reference runner with ``--update-baseline`` (this preserves the
 recorded ``pre_pr_mean_s`` values so the headline speedup stays
 anchored to the pre-overhaul measurement).
+
+``--trace-overhead`` runs a separate mode instead: the gateway-scaling
+workload with causal tracing off and on, reporting the wall-clock cost
+of the instrumentation and verifying that the *simulated* results are
+identical either way (tracing must never perturb the discrete-event
+schedule).
 """
 
 from __future__ import annotations
@@ -122,6 +128,47 @@ def compare(baseline: dict, fresh: dict, threshold: float) -> dict:
     return {"rows": rows, "failures": failures}
 
 
+def trace_overhead(rounds: int) -> int:
+    """Measure causal-tracing overhead on the gateway-scaling workload.
+
+    For each client count, times ``run_clients`` with tracing disabled
+    and enabled (best of ``rounds``), and checks the simulated result
+    rows are identical — the tracing hooks observe the schedule, they
+    must never change it.
+    """
+    import time as _time
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    from bench_gateway_scaling import run_clients  # noqa: E402
+
+    failures = []
+    print(f"{'clients':>7} {'off ms':>9} {'on ms':>9} {'overhead':>9}")
+    for clients in (1, 2, 4, 8):
+        timings = {}
+        for traced in (False, True):
+            best, row = None, None
+            for _ in range(rounds):
+                t0 = _time.perf_counter()
+                row = run_clients(clients, trace_spans=traced)
+                dt = _time.perf_counter() - t0
+                best = dt if best is None else min(best, dt)
+            timings[traced] = (best, row)
+        (off_s, off_row), (on_s, on_row) = timings[False], timings[True]
+        if off_row != on_row:
+            failures.append(f"{clients} clients: simulated results differ "
+                            f"with tracing on ({off_row} vs {on_row})")
+        ratio = on_s / off_s if off_s else float("inf")
+        print(f"{clients:>7} {off_s * 1000:>9.2f} {on_s * 1000:>9.2f} "
+              f"{ratio:>8.2f}x")
+    if failures:
+        print("\nTRACING PERTURBED THE SIMULATION:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nsimulated results identical with tracing on and off")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline",
@@ -132,7 +179,17 @@ def main() -> int:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline means from this run "
                              "(keeps pre_pr_mean_s anchors)")
+    parser.add_argument("--trace-overhead", action="store_true",
+                        help="measure causal-tracing overhead on the "
+                             "gateway-scaling workload instead of running "
+                             "the regression gate")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="repeats per measurement in --trace-overhead "
+                             "mode (default 3; best-of wins)")
     args = parser.parse_args()
+
+    if args.trace_overhead:
+        return trace_overhead(args.rounds)
 
     with open(args.baseline) as f:
         baseline = json.load(f)

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Critical-path analysis of an exported causal trace.
+
+Usage:
+    python tools/trace_report.py trace.json [--top 5]
+    python -m repro --trace-json | python tools/trace_report.py -
+
+Consumes the Chrome ``trace_event`` JSON written by
+``TraceCollector.export_chrome()`` (``python -m repro --trace-json``,
+``World.trace_chrome_json()``) and prints, per invocation trace:
+
+* the end-to-end latency (the root ``client.request`` or, for plain-ORB
+  clients, the gateway-rooted ``gateway.request`` span);
+* the latency breakdown across causal phases — ordering wait
+  (``totem.order.*``), replica execution (``rm.execute``), gateway
+  processing — and the residue (client/gateway transport, failover
+  stalls);
+* a slowest-invocations table (``--top``, default 5).
+
+All numbers are *simulated* milliseconds; the breakdown is exact, not
+sampled, because every hop of every invocation is recorded.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List
+
+# Span names charged to each breakdown phase.  A span contributes its
+# own duration; phases never overlap in the causal chain (ordering ends
+# where execution begins, executions of different replicas overlap and
+# are charged once via max, see _phase_time).
+PHASES = (
+    ("ordering", ("totem.order.invocation", "totem.order.response")),
+    ("execution", ("rm.execute",)),
+)
+
+
+def load_events(path: str) -> List[Dict[str, Any]]:
+    stream = sys.stdin if path == "-" else open(path)
+    try:
+        doc = json.load(stream)
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+    return [e for e in doc.get("traceEvents", []) if e.get("ph") == "X"]
+
+
+def group_by_trace(events: List[Dict[str, Any]]) -> Dict[str, List[Dict[str, Any]]]:
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    for event in events:
+        traces.setdefault(event["cat"], []).append(event)
+    return traces
+
+
+def _root(spans: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """The trace's root: its earliest parentless span (the client root
+    when the client is enhanced, the gateway container otherwise)."""
+    roots = [s for s in spans if "parent_id" not in s.get("args", {})]
+    return min(roots or spans, key=lambda s: (s["ts"], s["args"]["span_id"]))
+
+
+def _phase_time(spans: List[Dict[str, Any]], names) -> int:
+    """Total µs charged to a phase: overlapping intervals (e.g. the
+    per-replica ``rm.execute`` spans of an active group) are merged so
+    concurrent work counts once, like a wall-clock profiler."""
+    intervals = sorted((s["ts"], s["ts"] + s["dur"])
+                       for s in spans if s["name"] in names)
+    total, cursor = 0, None
+    for start, end in intervals:
+        if cursor is None or start > cursor:
+            total += end - start
+            cursor = end
+        elif end > cursor:
+            total += end - cursor
+            cursor = end
+    return total
+
+
+def analyze(traces: Dict[str, List[Dict[str, Any]]]) -> List[Dict[str, Any]]:
+    rows = []
+    for trace_id, spans in traces.items():
+        root = _root(spans)
+        total = root["dur"]
+        row = {"trace": trace_id, "total_us": total,
+               "op": root["args"].get("op", root["args"].get("client", "")),
+               "root": root["name"], "hops": len(spans)}
+        accounted = 0
+        for phase, names in PHASES:
+            charged = _phase_time(spans, names)
+            row[phase + "_us"] = charged
+            accounted += charged
+        row["other_us"] = max(0, total - accounted)
+        rows.append(row)
+    return rows
+
+
+def _ms(us: int) -> str:
+    return f"{us / 1000:9.3f}"
+
+
+def render(rows: List[Dict[str, Any]], top: int) -> str:
+    lines = []
+    header = (f"{'trace':<28} {'total ms':>9} {'ordering':>9} "
+              f"{'execute':>9} {'other':>9} {'hops':>5}")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(f"{row['trace']:<28} {_ms(row['total_us'])} "
+                     f"{_ms(row['ordering_us'])} {_ms(row['execution_us'])} "
+                     f"{_ms(row['other_us'])} {row['hops']:>5}")
+    totals = {k: sum(r[k] for r in rows)
+              for k in ("total_us", "ordering_us", "execution_us", "other_us")}
+    lines.append("-" * len(header))
+    lines.append(f"{'TOTAL':<28} {_ms(totals['total_us'])} "
+                 f"{_ms(totals['ordering_us'])} {_ms(totals['execution_us'])} "
+                 f"{_ms(totals['other_us'])} "
+                 f"{sum(r['hops'] for r in rows):>5}")
+    if totals["total_us"]:
+        share = {k: 100.0 * totals[k] / totals["total_us"]
+                 for k in ("ordering_us", "execution_us", "other_us")}
+        lines.append(f"{'share of critical path':<28} {'100.0%':>9} "
+                     f"{share['ordering_us']:>8.1f}% {share['execution_us']:>8.1f}% "
+                     f"{share['other_us']:>8.1f}%")
+    slowest = sorted(rows, key=lambda r: -r["total_us"])[:top]
+    if slowest:
+        lines.append("")
+        lines.append(f"slowest {len(slowest)} invocations:")
+        for row in slowest:
+            lines.append(f"  {row['trace']:<28} {_ms(row['total_us'])} ms "
+                         f"(root {row['root']}, {row['hops']} spans)")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="critical-path breakdown of an exported causal trace")
+    parser.add_argument("trace", help="Chrome trace_event JSON file, or - "
+                                      "for stdin")
+    parser.add_argument("--top", type=int, default=5,
+                        help="slowest-invocations table size (default 5)")
+    args = parser.parse_args(argv)
+    events = load_events(args.trace)
+    if not events:
+        print("no spans in trace")
+        return 1
+    rows = analyze(group_by_trace(events))
+    rows.sort(key=lambda r: r["trace"])
+    print(render(rows, args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
