@@ -12,6 +12,13 @@ the resource-leak audit at quiescence and fails the run on any leak;
 invocation; ``--trace-json`` prints the Chrome ``trace_event`` JSON
 instead (load it in Perfetto / ``about:tracing``, or feed it to
 ``tools/trace_report.py`` for a critical-path breakdown).
+
+Two analysis modes skip the demo entirely: ``--lint`` runs the
+``reprolint`` determinism linter over ``src/`` (same bar as
+``tools/reprolint.py`` and the blocking CI job), and ``--race-sweep``
+replays the golden scenarios under permuted same-time tie-break orders
+(see docs/STATIC_ANALYSIS.md), failing if any semantic artifact
+diverges.
 """
 
 from __future__ import annotations
@@ -43,7 +50,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "trace_event JSON (Perfetto-loadable)")
     parser.add_argument("--seed", type=int, default=2026,
                         help="world seed (default: 2026)")
+    parser.add_argument("--lint", action="store_true",
+                        help="run the reprolint determinism linter over "
+                             "src/ instead of the demo")
+    parser.add_argument("--race-sweep", action="store_true",
+                        help="replay the golden scenarios under permuted "
+                             "tie-break orders instead of the demo")
     args = parser.parse_args(argv)
+    if args.lint:
+        from repro.analysis.cli import main as lint_main
+        return lint_main([])
+    if args.race_sweep:
+        return _race_sweep()
     tracing = args.trace or args.trace_json
     world = World(seed=args.seed, trace_spans=tracing)
     domain = FaultToleranceDomain(world, "demo", num_hosts=3)
@@ -92,6 +110,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(world.trace_tree())
     if args.trace_json:
         print(world.trace_chrome_json())
+    return 0 if ok else 1
+
+
+def _race_sweep() -> int:
+    from repro.analysis.race import permutation_sweep
+    from repro.analysis.scenarios import GOLDEN_SCENARIOS
+    ok = True
+    for name, scenario in GOLDEN_SCENARIOS.items():
+        report = permutation_sweep(scenario, name=name)
+        ok = ok and report.ok
+        print(f"{name}: {'OK' if report.ok else 'DIVERGED'}")
+        for run in report.runs:
+            stats = run.recorder or {}
+            line = (f"  {run.label}: collisions={stats.get('cohorts', 0)} "
+                    f"multi_lane={stats.get('multi_lane_cohorts', 0)}")
+            if run.effort_deltas:
+                moved = sorted(
+                    series for delta in run.effort_deltas.values()
+                    for series in delta)
+                line += f" effort_moved={','.join(moved)}"
+            print(line)
+            for key, note in sorted(run.divergences.items()):
+                print(f"    DIVERGED {key}: {note}")
+    print("race sweep:", "every semantic artifact byte-identical"
+          if ok else "SEMANTIC DIVERGENCE — tie-break order leaked")
     return 0 if ok else 1
 
 

@@ -1,0 +1,50 @@
+"""repro.analysis — determinism & sim-discipline static analysis.
+
+The reproduction's headline guarantees — byte-identical seeded runs,
+no wall-clock or ambient-RNG reads on simulated paths, a complete
+observability catalogue, audit-registered state — are *invariants of
+the source tree*, not just of any one run.  This package enforces them
+mechanically:
+
+* :mod:`repro.analysis.lint` — the ``reprolint`` framework: an
+  AST-based, repo-aware linter with a rule registry, inline
+  suppressions (``# reprolint: disable=DET001``), a committed
+  baseline, and text/JSON reporters.  ``tools/reprolint.py`` and
+  ``python -m repro --lint`` are thin CLIs over it; a pytest gate and
+  a blocking CI job keep ``src/`` clean.
+* :mod:`repro.analysis.rules` — the rule pack encoding this repo's
+  real invariants (DET001–DET004, SIM001, OBS001, AUD001); see
+  docs/STATIC_ANALYSIS.md for the catalogue.
+* :mod:`repro.analysis.race` — the dynamic companion: a scheduler
+  race-detector mode that records same-sim-time event collisions and
+  re-runs seeded scenarios under permuted tie-break orders, verifying
+  that goldens and metrics are *invariant* to the orderings the
+  simulation does not promise.
+* :mod:`repro.analysis.scenarios` — the golden scenarios shared by the
+  determinism tests, the golden-file gates, and the race sweep.
+"""
+
+from .lint import (Baseline, LintConfig, LintResult, LintRule, Suppression,
+                   Violation, lint_paths, lint_source, registered_rules)
+from .race import (CohortPermuter, PermutationReport, RaceRecorder,
+                   RaceScheduler, permutation_sweep)
+from .reporters import render_json_report, render_text_report
+
+__all__ = [
+    "Baseline",
+    "CohortPermuter",
+    "LintConfig",
+    "LintResult",
+    "LintRule",
+    "PermutationReport",
+    "RaceRecorder",
+    "RaceScheduler",
+    "Suppression",
+    "Violation",
+    "lint_paths",
+    "lint_source",
+    "permutation_sweep",
+    "registered_rules",
+    "render_json_report",
+    "render_text_report",
+]

@@ -40,6 +40,7 @@ class DuplicateSuppressor:
         self._pending: Dict[Hashable, _Pending] = {}
         self._delivered: "OrderedDict[Hashable, bool]" = OrderedDict()
         self._remember = remember_delivered
+        # reprolint: disable=AUD001 -- fixed key set, bounded by construction
         self.stats = {
             "delivered": 0,
             "duplicates_suppressed": 0,

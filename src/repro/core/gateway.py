@@ -134,6 +134,7 @@ class Gateway(Process):
         self._reap_seq = itertools.count()
         self._reap_timer = None
 
+        # reprolint: disable=AUD001 -- fixed key set, bounded by construction
         self.stats = {
             "requests_received": 0,
             "requests_forwarded": 0,
@@ -219,6 +220,10 @@ class Gateway(Process):
         scope.register("gateway.reap_queue", lambda: len(self._reap_heap),
                        floor=None, owner=owner, active=alive,
                        gauge="gateway.state.reap_queue")
+        # One client-id counter per server group ever addressed through
+        # this gateway: bounded by the directory, snapshot-only.
+        scope.register("gateway.counters", lambda: len(self._counters),
+                       floor=None, owner=owner, active=alive)
         self._filter.register_audit(scope, owner=owner, active=alive,
                                     prefix="gateway.filter",
                                     gauge_prefix="gateway.state.filter")

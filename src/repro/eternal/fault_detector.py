@@ -56,6 +56,7 @@ class FaultDetector:
         for group_id, record in list(self.rm.replicas.items()):
             if not record.ready:
                 continue
+            # reprolint: disable=DET004 -- local replica identity, never serialized
             if self._reported.get(group_id) not in (None, id(record.servant)):
                 del self._reported[group_id]  # fresh replica: re-arm
             check = getattr(record.servant, "health_check", None)
@@ -73,6 +74,7 @@ class FaultDetector:
     def _report_fault(self, group_id: int, servant) -> None:
         if group_id in self._reported:
             return  # already reported; the removal is in flight
+        # reprolint: disable=DET004 -- local replica identity, never serialized
         self._reported[group_id] = id(servant)
         self.stats["faults_detected"] += 1
         self._m_faults.inc()

@@ -154,9 +154,12 @@ class ReplicationMechanisms(Process):
 
         self._gateway = None               # attached repro.core.gateway.Gateway
         self._egress = None                # attached cross-domain egress client
+        # reprolint: disable=AUD001 -- listener list, fixed at wiring time
         self._membership_listeners: List[Callable[[Tuple[str, ...]], None]] = []
+        # reprolint: disable=AUD001 -- listener list, fixed at wiring time
         self._replica_ready_listeners: List[Callable[[int, str, int], None]] = []
 
+        # reprolint: disable=AUD001 -- fixed key set, bounded by construction
         self.stats = {
             "invocations_executed": 0,
             "invocations_duplicate": 0,
@@ -380,6 +383,14 @@ class ReplicationMechanisms(Process):
                        lambda: len(self._presync_buffer),
                        floor=0, owner=owner, active=alive,
                        gauge="rm.state.presync_buffer")
+        # Hosted replicas and the per-group primary memory are capacity,
+        # not churn: one entry per group this processor hosts (or has
+        # ever elected a primary for), so they are snapshot-only.
+        scope.register("rm.replicas", lambda: len(self.replicas),
+                       floor=None, owner=owner, active=alive,
+                       gauge="rm.state.replicas")
+        scope.register("rm.last_primary", lambda: len(self._last_primary),
+                       floor=None, owner=owner, active=alive)
         self._response_filter.register_audit(scope, owner=owner, active=alive,
                                              prefix="rm.filter",
                                              gauge_prefix="rm.state.filter")

@@ -9,6 +9,8 @@ docs/OBSERVABILITY.md for the metric catalogue and clock semantics.
 
 from .audit import AuditEntry, AuditReport, AuditRow, AuditScope
 from .export import parse_json, render_prometheus, render_text, to_json
+from .hostclock import (override_wall_clock, reset_wall_clock,
+                        set_wall_clock, wall_clock)
 from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry, Span
 from .tracing import TraceCollector, TraceSpan
 
@@ -25,8 +27,12 @@ __all__ = [
     "Span",
     "TraceCollector",
     "TraceSpan",
+    "override_wall_clock",
     "parse_json",
     "render_prometheus",
     "render_text",
+    "reset_wall_clock",
+    "set_wall_clock",
     "to_json",
+    "wall_clock",
 ]

@@ -13,9 +13,11 @@ Two clocks coexist:
 * the **simulated** clock (the deterministic ``Scheduler``), which all
   default metrics read.  Two runs of the same seeded scenario produce
   *byte-identical* snapshots of these metrics;
-* the **wall clock** (``time.perf_counter``), for metrics created with
-  ``wall=True``.  Wall metrics measure simulator throughput, vary from
-  run to run, and are therefore excluded from the default snapshot.
+* the **wall clock** (:func:`repro.obs.hostclock.wall_clock`, the
+  repo's single sanctioned host-time boundary), for metrics created
+  with ``wall=True``.  Wall metrics measure simulator throughput, vary
+  from run to run, and are therefore excluded from the default
+  snapshot.
 
 Metric names are hierarchical, dot-separated, lowercase
 (``gateway.req.latency``, ``totem.token.rotation``, ``giop.bytes.out``)
@@ -26,12 +28,12 @@ the full catalogue.
 from __future__ import annotations
 
 import math
-import time
 from bisect import bisect_right
 from contextlib import contextmanager
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..errors import ConfigurationError
+from .hostclock import wall_clock as _host_wall_clock
 
 ClockFn = Callable[[], float]
 
@@ -202,8 +204,11 @@ class MetricsRegistry:
     def __init__(self, clock: Optional[ClockFn] = None,
                  wall_clock: Optional[ClockFn] = None) -> None:
         self.clock: ClockFn = clock if clock is not None else (lambda: 0.0)
+        # The default delegates through repro.obs.hostclock on every
+        # read, so a test's override_wall_clock() reaches registries
+        # built before the override was installed.
         self.wall_clock: ClockFn = (wall_clock if wall_clock is not None
-                                    else time.perf_counter)
+                                    else _host_wall_clock)
         self._metrics: Dict[str, Metric] = {}
 
     # ------------------------------------------------------------------

@@ -97,8 +97,12 @@ class World:
         mtu: Optional[int] = None,
         trace_spans: bool = False,
         trace_max_records: Optional[int] = None,
+        scheduler: Optional[Scheduler] = None,
     ) -> None:
-        self.scheduler = Scheduler()
+        # An injected scheduler (e.g. the race detector's cohort-
+        # permuting subclass) must be fresh: it becomes this world's
+        # clock and the anchor of every component built below.
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.tracer = Tracer(enabled=trace, max_records=trace_max_records)
         # One registry per world: the simulated clock is the scheduler,
         # and every component reads the same registry via its network.

@@ -1,0 +1,11 @@
+# reprolint: module=repro.core.gateway
+"""AUD001 bad fixture: a stateful collection never audit-registered
+in a class that does register others."""
+
+
+class Thing:
+    def __init__(self, scope):
+        self._pending = {}
+        self._forgotten = {}
+        scope.register("thing.pending", lambda: len(self._pending),
+                       floor=0)

@@ -1,0 +1,12 @@
+# reprolint: module=repro.core.gateway
+"""AUD001 good fixture: every stateful collection is registered."""
+
+
+class Thing:
+    def __init__(self, scope):
+        self._pending = {}
+        self._cache = {}
+        scope.register("thing.pending", lambda: len(self._pending),
+                       floor=0)
+        scope.register("thing.cache", lambda: len(self._cache),
+                       floor=None)

@@ -1,0 +1,10 @@
+# reprolint: module=repro.sim.fake
+"""DET001 bad fixture: wall-clock reads inside a deterministic module."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp():
+    return time.time(), perf_counter(), datetime.now()

@@ -1,0 +1,8 @@
+# reprolint: module=repro.sim.fake
+"""DET001 good fixture: simulated time + the sanctioned boundary."""
+
+from repro.obs.hostclock import wall_clock
+
+
+def stamp(scheduler):
+    return scheduler.now, wall_clock()

@@ -1,0 +1,11 @@
+# reprolint: module=repro.core.fake
+"""DET002 bad fixture: ambient randomness instead of the seeded RNG."""
+
+import random
+import uuid
+from random import shuffle
+
+
+def pick(items):
+    shuffle(items)
+    return items[int(random.random() * len(items))], uuid.uuid4()

@@ -1,0 +1,14 @@
+# reprolint: module=repro.core.fake
+"""DET002 good fixture: explicit seeded Random instances only."""
+
+import random
+
+
+def pick(items, seed):
+    rng = random.Random(seed)
+    rng.shuffle(items)
+    return items[0]
+
+
+def pick_from_world(world, items):
+    return items[world.rng.randrange(len(items))]

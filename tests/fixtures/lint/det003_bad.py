@@ -1,0 +1,15 @@
+# reprolint: module=repro.totem.fake
+"""DET003 bad fixture: unordered set iteration in scheduling code."""
+
+
+def order(hosts):
+    members = {h for h in hosts}
+    out = []
+    for h in members:
+        out.append(h)
+    return out
+
+
+def names(mapping, extra):
+    pending = set(extra)
+    return list(pending), ",".join(mapping.keys() | {"x"})

@@ -1,0 +1,19 @@
+# reprolint: module=repro.totem.fake
+"""DET003 good fixture: sorted() everywhere, and a scope-collision
+regression — a *list* named like another function's set must not be
+flagged (the rule's name table is per lexical scope)."""
+
+
+def order(hosts):
+    members = {h for h in hosts}
+    return [h for h in sorted(members)]
+
+
+def membership_only(xs):
+    live = set(xs)
+    return "a" in live
+
+
+def unrelated_list(xs):
+    live = [x for x in xs]
+    return {x: 0 for x in live}

@@ -1,0 +1,10 @@
+# reprolint: module=repro.eternal.fake
+"""DET004 bad fixture: object identity reaching deterministic state."""
+
+
+def tiebreak(a, b):
+    return a if id(a) < id(b) else b
+
+
+def dedup_key(name):
+    return hash(name)

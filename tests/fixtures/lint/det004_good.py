@@ -1,0 +1,11 @@
+# reprolint: module=repro.obs.fake
+"""DET004 good fixture: id() is fine outside the deterministic
+packages (repro.obs is host-side), and stable keys are always fine."""
+
+
+def cache_key(obj):
+    return id(obj)
+
+
+def tiebreak(a, b):
+    return a if a.name < b.name else b

@@ -1,0 +1,7 @@
+# reprolint: module=repro.core.fake
+"""OBS001 bad fixture: a metric series missing from the catalogue."""
+
+
+def record(metrics, spans, trace_id):
+    metrics.counter("definitely.not.in.catalogue").inc()
+    spans.start(trace_id, "mystery.span")

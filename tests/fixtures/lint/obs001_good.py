@@ -1,0 +1,10 @@
+# reprolint: module=repro.core.fake
+"""OBS001 good fixture: catalogued names, wildcard families, and
+dynamic (non-literal) names, which the rule skips."""
+
+
+def record(metrics, spans, trace_id, action):
+    metrics.counter("gateway.req.received").inc()
+    metrics.gauge("gateway.state.pending").set(0)
+    metrics.counter(f"fault.injected.{action}").inc()
+    spans.start(trace_id, "gateway.request")

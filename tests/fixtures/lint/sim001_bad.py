@@ -1,0 +1,12 @@
+# reprolint: module=repro.totem.fake
+"""SIM001 bad fixture: host I/O and blocking calls in sim-driven code."""
+
+import threading
+import time
+
+
+def worker(path):
+    threading.Thread(target=print).start()
+    time.sleep(0.1)
+    with open(path) as handle:
+        return handle.read()

@@ -1,0 +1,8 @@
+# reprolint: module=repro.obs.fake
+"""SIM001 good fixture: repro.obs is host-side tooling, where file
+I/O is legitimate (exporters, report writers)."""
+
+
+def export(path, payload):
+    with open(path, "w") as handle:
+        handle.write(payload)

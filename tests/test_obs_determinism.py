@@ -16,33 +16,11 @@ from __future__ import annotations
 import pytest
 
 from repro import FtClientLayer, Orb, World
+from repro.analysis.scenarios import run_failover_scenario
 from repro.apps import COUNTER_INTERFACE
 from repro.obs import parse_json
 
-from tests.helpers import (
-    crash_gateway_on_response,
-    external_client,
-    make_counter_group,
-    make_domain,
-    replica_counts,
-)
-
-
-def run_failover_scenario(seed=350):
-    """The section 3.5 failover: the first gateway crashes at the exact
-    instant the response reaches it; the enhanced client fails over."""
-    world = World(seed=seed, trace=False)
-    domain = make_domain(world, num_hosts=3, gateways=2)
-    group = make_counter_group(domain)
-    _, stub, layer = external_client(world, domain, group, enhanced=True)
-    world.await_promise(stub.call("increment", 1), timeout=600)
-    crash_gateway_on_response(world, domain.gateways[0])
-    result = world.await_promise(stub.call("increment", 10), timeout=600)
-    world.run(until=world.now + 1.0)
-    assert result == 11
-    assert set(replica_counts(domain, group).values()) == {11}
-    assert len(layer.failover_log) >= 1
-    return world
+from tests.helpers import make_counter_group, make_domain
 
 
 def test_failover_metrics_byte_identical_across_runs():

@@ -14,11 +14,8 @@ from __future__ import annotations
 import json
 import pathlib
 
-from repro import FtClientLayer, Orb, World
-from repro.apps import COUNTER_INTERFACE
-
-from tests.helpers import make_counter_group, make_domain
-from tests.test_obs_determinism import run_failover_scenario
+from repro.analysis.scenarios import (run_chaos_scenario,
+                                      run_failover_scenario)
 
 GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 
@@ -59,36 +56,10 @@ def _filter_new_counters(doc):
     return data
 
 
-def _run_chaos_traced(victim_index=0, crash_delay=0.09, seed=5):
-    """Seeded crash scenario; returns (delivery trace, final counts,
-    metrics JSON) for comparison against the committed golden."""
-    world = World(seed=seed, trace=False)
-    domain = make_domain(world, num_hosts=4, gateways=2)
-    group = make_counter_group(domain, replicas=3, min_replicas=2)
-    deliveries = {name: [] for name in domain.members}
-    for name, member in domain.members.items():
-        member.on_deliver(
-            lambda seq, sender, payload, n=name: deliveries[n].append(
-                (seq, sender,
-                 getattr(payload, "describe", lambda: repr(payload))())))
-    host = world.add_host("browser")
-    orb = Orb(world, host, request_timeout=None)
-    layer = FtClientLayer(orb, client_uid="chaos")
-    stub = layer.string_to_object(
-        domain.ior_for(group).to_string(), COUNTER_INTERFACE)
-    victims = [h.name for h in domain.hosts]
-    victim = victims[victim_index % len(victims)]
-    world.scheduler.call_after(
-        crash_delay, lambda: world.faults.crash_now(victim))
-    for _ in range(4):
-        world.await_promise(stub.call("increment", 1), timeout=600)
-    world.run(until=world.now + 2.0)
-    finals = {}
-    for host_name, rm in domain.rms.items():
-        record = rm.replicas.get(group.group_id)
-        if record is not None and rm.alive:
-            finals[host_name] = record.servant.count
-    return deliveries, finals, world.metrics_json()
+# The golden scenarios themselves live in repro.analysis.scenarios so
+# the race-detector sweep can replay them; these tests pin their
+# artifacts and thereby keep that shared transcription honest.
+_run_chaos_traced = run_chaos_scenario
 
 
 def test_failover_metrics_match_pre_overhaul_golden():

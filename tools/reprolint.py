@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""reprolint — determinism & sim-discipline lint for the reproduction.
+
+Usage:
+    python tools/reprolint.py [paths...] [--json report.json]
+                              [--write-baseline] [--verbose]
+
+Thin wrapper over :mod:`repro.analysis.cli`; see docs/STATIC_ANALYSIS.md
+for the rule catalogue and suppression syntax.  Exits non-zero on any
+violation, parse error, stale baseline entry, or unused/unjustified
+suppression — the same bar as the blocking CI job and
+``tests/test_reprolint.py``.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())
