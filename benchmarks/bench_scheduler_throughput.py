@@ -1,0 +1,265 @@
+"""Sim-kernel microbenchmarks: raw scheduler events per second.
+
+The gateway-farm roadmap (10^5-10^6 clients) is bounded by how many
+discrete events the kernel retires per wall-clock second, so the kernel
+gets its own regression line in ``tools/bench_compare.py`` — gated
+*blocking* in CI, unlike the end-to-end benches.
+
+Five mixes, each counting pure kernel work (no network, no metrics):
+
+* **timer churn** — chained one-shot ``call_after``: every handler
+  schedules its successor; the classic protocol-timer pattern.
+* **cancel heavy** — handlers schedule two timers and cancel one, so
+  half the queue is garbage: stresses stale-entry skipping/compaction.
+* **reschedule heavy** — a deadline timer per chain is pushed back on
+  every tick (the Totem token-loss idiom): stresses the lazy
+  reschedule path.
+* **farm churn** — hundreds of periodic timers plus fire-and-forget
+  deliveries, the gateway-farm steady state.  The calendar kernel runs
+  the modern API (``call_every`` + ``post``); the reference heap runs
+  the pre-overhaul idiom (chained ``call_after`` for periodics,
+  ``call_after`` for deliveries), so the reported
+  ``speedup_vs_reference`` measures exactly what the overhaul bought
+  for an unchanged simulation.
+* **broadcast fan-out** (headline) — every round delivers a same-time
+  cohort to hundreds of destinations, the Totem
+  broadcast-delivery pattern at farm scale.  The calendar kernel takes
+  the batched cohort path (``post_batch``: one slot lookup + bulk
+  extend, pre-sorted cohort pop); the reference heap pays a Timer
+  allocation and an O(log n) sift per delivery.  This mix carries the
+  overhaul's >=5x acceptance assertion.
+
+Each test also times the pre-overhaul kernel inline and reports
+``events_per_sec`` / ``speedup_vs_reference`` in ``extra_info`` (both
+wall-clock-dependent, so ``bench_compare`` ignores them when diffing
+simulated scalars; the deterministic ``events`` count is compared).
+"""
+
+import time
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.reference_scheduler import ReferenceScheduler
+from repro.sim.scheduler import Scheduler
+
+CHAINS = 100
+TARGET_EVENTS = 60_000
+
+
+def run_timer_churn(kernel):
+    sched = kernel()
+    budget = TARGET_EVENTS
+
+    def tick(i, delay):
+        if sched.events_processed < budget:
+            sched.call_after(delay, tick, i, delay)
+
+    for i in range(CHAINS):
+        # Varied sub-slot delays so cohorts straddle bucket boundaries.
+        sched.call_after(0.001 + (i % 7) * 0.0005, tick, i,
+                         0.001 + (i % 7) * 0.0005)
+    try:
+        sched.run(max_events=budget)
+    except SimulationError:
+        pass  # budget stop is the intended exit
+    return sched.events_processed
+
+
+def run_cancel_heavy(kernel):
+    sched = kernel()
+    budget = TARGET_EVENTS
+
+    def tick(delay):
+        doomed = sched.call_after(delay * 3, _never)
+        doomed.cancel()
+        if sched.events_processed < budget:
+            sched.call_after(delay, tick, delay)
+
+    def _never():
+        raise AssertionError("cancelled timer fired")
+
+    for i in range(CHAINS):
+        sched.call_after(0.002 + (i % 5) * 0.0007, tick,
+                         0.002 + (i % 5) * 0.0007)
+    try:
+        sched.run(max_events=budget)
+    except SimulationError:
+        pass  # budget stop is the intended exit
+    return sched.events_processed
+
+
+def run_reschedule_heavy(kernel):
+    sched = kernel()
+    budget = TARGET_EVENTS
+    deadlines = []
+
+    def expire():
+        raise AssertionError("pushed-back deadline fired")
+
+    def tick(i, delay):
+        # The token-loss idiom: every tick pushes the deadline back.
+        sched.reschedule_after(deadlines[i], 1000.0)
+        if sched.events_processed < budget:
+            sched.call_after(delay, tick, i, delay)
+
+    for i in range(CHAINS):
+        deadlines.append(sched.call_after(1000.0, expire))
+        sched.call_after(0.001 + (i % 7) * 0.0005, tick, i,
+                         0.001 + (i % 7) * 0.0005)
+    try:
+        sched.run(max_events=budget)
+    except SimulationError:
+        pass  # budget stop is the intended exit
+    for deadline in deadlines:
+        deadline.cancel()
+    return sched.events_processed
+
+
+def run_farm_churn(kernel, modern):
+    """Periodic protocol timers + fire-and-forget deliveries.
+
+    ``modern=True`` uses the overhauled API (``call_every``/``post``);
+    ``modern=False`` replays the identical simulation through the
+    pre-overhaul idiom (chained ``call_after`` everywhere).
+    """
+    sched = kernel()
+    budget = TARGET_EVENTS
+    sink = []
+
+    def deliver(i):
+        sink.append(i)
+
+    periodics = []
+    if modern:
+        def beat(i):
+            sched.post(0.0005, deliver, i)
+
+        for i in range(4 * CHAINS):
+            periodics.append(
+                sched.call_every(0.001 + (i % 9) * 0.0005, beat, i))
+    else:
+        def legacy_beat(i, interval):
+            sched.call_after(interval, legacy_beat, i, interval)
+            sched.call_after(0.0005, deliver, i)
+
+        for i in range(4 * CHAINS):
+            sched.call_after(0.001 + (i % 9) * 0.0005, legacy_beat, i,
+                             0.001 + (i % 9) * 0.0005)
+    try:
+        sched.run(max_events=budget)
+    except SimulationError:
+        pass  # budget stop is the intended exit
+    for timer in periodics:
+        timer.cancel()
+    return sched.events_processed
+
+
+def run_broadcast_fanout(kernel, modern, rounds=100, fan=600):
+    """Same-time delivery cohorts: Totem handing a broadcast to every
+    gateway in the domain at one simulated instant.
+
+    ``modern=True`` pushes each cohort through ``post_batch``;
+    ``modern=False`` replays the identical simulation as the
+    pre-overhaul loop of per-destination ``call_after`` calls.
+    """
+    sched = kernel()
+    sink = []
+    deliver = sink.append
+    if modern:
+        argss = [(i,) for i in range(fan)]
+
+        def round_(r):
+            sched.post_batch(0.009, deliver, argss)
+    else:
+        def round_(r):
+            for i in range(fan):
+                sched.call_after(0.009, deliver, i)
+    for r in range(rounds):
+        sched.call_at(r * 0.02, round_, r)
+    sched.run()
+    return sched.events_processed
+
+
+def _best_of(fn, rounds=3):
+    best = None
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def _record(benchmark, run_new, run_ref, events):
+    """Time new vs reference inline, attach throughput numbers."""
+    new_s = _best_of(run_new)
+    ref_s = _best_of(run_ref)
+    benchmark.extra_info.update({
+        "events": events,
+        "events_per_sec": round(events / new_s),
+        "reference_events_per_sec": round(events / ref_s),
+        "speedup_vs_reference": round(ref_s / new_s, 2),
+    })
+    return new_s, ref_s
+
+
+def test_sched_timer_churn(benchmark):
+    events = benchmark.pedantic(run_timer_churn, args=(Scheduler,),
+                                rounds=3, iterations=1)
+    _record(benchmark, lambda: run_timer_churn(Scheduler),
+            lambda: run_timer_churn(ReferenceScheduler), events)
+    assert events >= TARGET_EVENTS
+    assert run_timer_churn(ReferenceScheduler) == events
+
+
+def test_sched_cancel_heavy(benchmark):
+    events = benchmark.pedantic(run_cancel_heavy, args=(Scheduler,),
+                                rounds=3, iterations=1)
+    _record(benchmark, lambda: run_cancel_heavy(Scheduler),
+            lambda: run_cancel_heavy(ReferenceScheduler), events)
+    assert events >= TARGET_EVENTS
+    assert run_cancel_heavy(ReferenceScheduler) == events
+
+
+def test_sched_reschedule_heavy(benchmark):
+    events = benchmark.pedantic(run_reschedule_heavy, args=(Scheduler,),
+                                rounds=3, iterations=1)
+    _record(benchmark, lambda: run_reschedule_heavy(Scheduler),
+            lambda: run_reschedule_heavy(ReferenceScheduler), events)
+    assert events >= TARGET_EVENTS
+    assert run_reschedule_heavy(ReferenceScheduler) == events
+
+
+def test_sched_farm_churn(benchmark):
+    """Gateway-farm steady state: the modern API must beat the
+    pre-overhaul idiom on the identical simulation."""
+    events = benchmark.pedantic(run_farm_churn, args=(Scheduler, True),
+                                rounds=3, iterations=1)
+    new_s, ref_s = _record(
+        benchmark, lambda: run_farm_churn(Scheduler, True),
+        lambda: run_farm_churn(ReferenceScheduler, False), events)
+    assert events == TARGET_EVENTS
+    # Modest floor: this mix is dominated by per-event callback work
+    # (the Amdahl floor), so the kernel win is real but bounded.
+    assert ref_s / new_s >= 1.2, (
+        f"farm-churn regressed to {ref_s / new_s:.2f}x vs reference "
+        f"({events / ref_s:,.0f} -> {events / new_s:,.0f} events/sec)")
+
+
+def test_sched_broadcast_fanout(benchmark):
+    """The headline: >=5x events/sec over the pre-overhaul kernel on
+    same-time delivery cohorts (the batched cohort push + pop path)."""
+    events = benchmark.pedantic(run_broadcast_fanout,
+                                args=(Scheduler, True),
+                                rounds=3, iterations=1)
+    new_s, ref_s = _record(
+        benchmark, lambda: run_broadcast_fanout(Scheduler, True),
+        lambda: run_broadcast_fanout(ReferenceScheduler, False), events)
+    assert events == 60_100  # 100 rounds x 600 fan + 100 round events
+    assert run_broadcast_fanout(ReferenceScheduler, False) == events
+    speedup = ref_s / new_s
+    assert speedup >= 5.0, (
+        f"broadcast fan-out speedup {speedup:.2f}x below the 5x "
+        f"acceptance bar "
+        f"({events / ref_s:,.0f} -> {events / new_s:,.0f} events/sec)")

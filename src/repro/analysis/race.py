@@ -23,9 +23,14 @@ Three pieces:
   events from different source hosts**, within runs uninterrupted by
   non-network events; per-source order and every barrier stays fixed.
   That is exactly the set of orderings a real LAN could produce.
-* :class:`RaceScheduler` — a :class:`~repro.sim.scheduler.Scheduler`
-  that extracts each same-time cohort before firing it, records the
-  collision, and applies the permuter.  With no permuter it replays
+* :class:`RaceScheduler` — a scheduler that extracts each same-time
+  cohort before firing it, records the collision, and applies the
+  permuter.  It subclasses the pre-overhaul binary-heap kernel
+  (:class:`~repro.sim.reference_scheduler.ReferenceScheduler`), whose
+  single sorted queue makes cohort extraction trivial; the twin-kernel
+  differential harness (``tests/test_scheduler_differential.py``)
+  proves that kernel order-identical to the production calendar-queue
+  scheduler, so sweep verdicts transfer.  With no permuter it replays
   the identity order and is observationally equivalent to the base
   scheduler (the only divergence channel is the *host-side*
   ``sched.queue.compactions`` hygiene counter, whose trigger reads
@@ -50,10 +55,11 @@ from typing import (Any, Callable, Deque, Dict, List, Mapping, Optional,
                     Sequence, Tuple)
 
 from ..errors import SimulationError
-from ..sim.scheduler import Scheduler, Timer
+from ..sim.reference_scheduler import ReferenceScheduler, ReferenceTimer
+from ..sim.world import SchedulerLike
 
-QueueEntry = Tuple[float, Any, Timer]
-ScenarioFn = Callable[[Optional[Scheduler]], Mapping[str, str]]
+QueueEntry = Tuple[float, Any, ReferenceTimer]
+ScenarioFn = Callable[[Optional[SchedulerLike]], Mapping[str, str]]
 
 #: Host-side hygiene series whose trigger reads transient queue depth;
 #: excluded from sweep comparisons (it is not simulation-visible).
@@ -87,13 +93,13 @@ EFFORT_SERIES: Tuple[str, ...] = (
 EFFORT_ARTIFACT_PREFIX = "effort:"
 
 
-def _label(timer: Timer) -> str:
+def _label(timer: ReferenceTimer) -> str:
     qual = getattr(timer.fn, "__qualname__", repr(timer.fn))
     lane = _lane_of(timer)
     return f"{qual}[src={lane[1]}]" if lane is not None else qual
 
 
-def _lane_of(timer: Timer) -> Optional[Tuple[str, str]]:
+def _lane_of(timer: ReferenceTimer) -> Optional[Tuple[str, str]]:
     """FIFO lane of a network-arrival event (its source host), or None
     for barrier events whose order must not move."""
     qual = getattr(timer.fn, "__qualname__", "")
@@ -191,7 +197,7 @@ class CohortPermuter:
                 "changed_cohorts": self.changed_cohorts}
 
 
-class RaceScheduler(Scheduler):
+class RaceScheduler(ReferenceScheduler):
     """Scheduler that surfaces and (optionally) permutes same-time ties.
 
     Pops each same-time cohort off the heap before firing it, records

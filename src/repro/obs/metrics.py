@@ -105,6 +105,35 @@ class Gauge(Metric):
         return {"type": self.kind, "unit": self.unit, "value": self.value}
 
 
+class CallbackCounter(Counter):
+    """Counter whose value is read from a callback at snapshot time.
+
+    The lazy-instrumentation seam: hot-path components (the scheduler,
+    the network) keep plain int attributes and export them through one
+    of these, so the fast paths never touch a metric object.  Reads are
+    as cheap as the callback; writes through ``inc`` are rejected —
+    the owning component's attribute is the single source of truth.
+    """
+
+    kind = "counter"
+
+    def __init__(self, name: str, fn: Callable[[], int], unit: str = "",
+                 wall: bool = False) -> None:
+        # Deliberately skip Counter.__init__: it assigns the plain
+        # ``value`` attribute this class replaces with a property.
+        Metric.__init__(self, name, unit, wall)
+        self._fn = fn
+
+    @property
+    def value(self) -> int:  # type: ignore[override]
+        return self._fn()
+
+    def inc(self, amount: int = 1) -> None:
+        raise ConfigurationError(
+            f"counter {self.name} is callback-backed; increment the "
+            "owning component's attribute instead")
+
+
 def _bucket_boundaries(base: float, growth: float, top: float) -> List[float]:
     bounds = [base]
     while bounds[-1] < top:
@@ -218,7 +247,10 @@ class MetricsRegistry:
     def _intern(self, cls, name: str, unit: str, wall: bool) -> Metric:
         existing = self._metrics.get(name)
         if existing is not None:
-            if type(existing) is not cls or existing.wall != wall:
+            # isinstance, not exact type: a CallbackCounter satisfies a
+            # later counter() lookup (readers don't care how the value
+            # is produced).
+            if not isinstance(existing, cls) or existing.wall != wall:
                 raise ConfigurationError(
                     f"metric {name!r} already registered as "
                     f"{type(existing).kind}(wall={existing.wall}), "
@@ -231,6 +263,30 @@ class MetricsRegistry:
     def counter(self, name: str, unit: str = "",
                 wall: bool = False) -> Counter:
         return self._intern(Counter, name, unit, wall)  # type: ignore[return-value]
+
+    def counter_fn(self, name: str, fn: Callable[[], int], unit: str = "",
+                   wall: bool = False) -> CallbackCounter:
+        """Register (or re-point) a callback-backed counter.
+
+        Re-registering an existing callback counter swaps the callback —
+        a rebuilt component (e.g. a fresh scheduler attached to the same
+        registry) takes over the metric.  A name already held by a
+        writable counter raises: silently shadowing recorded increments
+        would corrupt the snapshot.
+        """
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not CallbackCounter or existing.wall != wall:
+                raise ConfigurationError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).kind}(wall={existing.wall}), "
+                    f"requested callback counter(wall={wall})")
+            existing._fn = fn
+            return existing
+        metric = CallbackCounter(_validate_name(name), fn, unit=unit,
+                                 wall=wall)
+        self._metrics[name] = metric
+        return metric
 
     def gauge(self, name: str, unit: str = "", wall: bool = False) -> Gauge:
         return self._intern(Gauge, name, unit, wall)  # type: ignore[return-value]

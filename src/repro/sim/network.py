@@ -101,9 +101,6 @@ class Network:
         # every Process reaches it through its ``spans`` property.
         self.spans = spans if spans is not None else TraceCollector(
             enabled=False, clock=lambda: scheduler.now)
-        self._m_sent = self.metrics.counter("net.datagrams.sent")
-        self._m_delivered = self.metrics.counter("net.datagrams.delivered")
-        self._m_bytes = self.metrics.counter("net.bytes.sent", unit="B")
         self.hosts: Dict[str, Host] = {}
         self._partitions: List[Tuple[Set[str], Set[str]]] = []
         self._crash_handlers: List[Callable[[Host], None]] = []
@@ -112,6 +109,15 @@ class Network:
         self.datagrams_delivered = 0
         self.bytes_sent = 0
         self._msg_counter = itertools.count()
+        # Traffic counters are plain ints on the send/arrive hot paths,
+        # exported lazily: the registry reads them through callbacks at
+        # snapshot time, so per-datagram accounting costs two int adds.
+        self.metrics.counter_fn("net.datagrams.sent",
+                                lambda: self.datagrams_sent)
+        self.metrics.counter_fn("net.datagrams.delivered",
+                                lambda: self.datagrams_delivered)
+        self.metrics.counter_fn("net.bytes.sent",
+                                lambda: self.bytes_sent, unit="B")
 
     # ------------------------------------------------------------------
     # Topology
@@ -169,14 +175,14 @@ class Network:
         """
         self.datagrams_sent += 1
         self.bytes_sent += size
-        self._m_sent.inc()
-        self._m_bytes.inc(size)
         if not src.alive:
             return
         if not self.can_communicate(src.name, dst.name):
             return
         delay = self.latency_model.latency(src.name, dst.name)
-        self.scheduler.call_after(
+        # post(): an in-flight datagram is never cancelled or
+        # rescheduled, so the delivery needs no Timer handle at all.
+        self.scheduler.post(
             delay, self._arrive, src.name, dst, payload, deliver)
 
     def _arrive(self, src_name: str, dst: Host, payload: Any,
@@ -187,7 +193,6 @@ class Network:
         if not self.can_communicate(src_name, dst.name):
             return
         self.datagrams_delivered += 1
-        self._m_delivered.inc()
         deliver(payload)
 
     def broadcast(
@@ -212,8 +217,6 @@ class Network:
         count = len(targets)
         self.datagrams_sent += count
         self.bytes_sent += size * count
-        self._m_sent.inc(count)
-        self._m_bytes.inc(size * count)
         if not src.alive:
             return 0
         src_name = src.name
@@ -232,7 +235,7 @@ class Network:
                 bucket.append((dst, deliver))
 
         for delay, bucket in groups.items():
-            self.scheduler.call_after(
+            self.scheduler.post(
                 delay, self._arrive_bucket, src_name, payload, bucket)
         return len(groups)
 
@@ -245,7 +248,6 @@ class Network:
             if not self.can_communicate(src_name, dst.name):
                 continue
             self.datagrams_delivered += 1
-            self._m_delivered.inc()
             deliver(payload)
 
     def host_crashed(self, host: Host) -> None:

@@ -12,7 +12,7 @@ simulation.
 from __future__ import annotations
 
 import random
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Optional, Union
 
 from ..errors import SimulationError
 from ..obs import (AuditReport, AuditScope, MetricsRegistry, TraceCollector,
@@ -20,9 +20,16 @@ from ..obs import (AuditReport, AuditScope, MetricsRegistry, TraceCollector,
 from .faults import FaultInjector
 from .host import Host
 from .network import LatencyModel, Network
+from .reference_scheduler import ReferenceScheduler
 from .scheduler import Scheduler
 from .tcp import TcpStack
 from .trace import Tracer
+
+#: Anything a World can run on: the production calendar-queue kernel or
+#: the pre-overhaul binary-heap kernel (kept as the differential-test
+#: reference and the base of the race detector's permuting scheduler).
+#: The two expose the same public surface and identical event ordering.
+SchedulerLike = Union[Scheduler, ReferenceScheduler]
 
 
 class Promise:
@@ -97,12 +104,13 @@ class World:
         mtu: Optional[int] = None,
         trace_spans: bool = False,
         trace_max_records: Optional[int] = None,
-        scheduler: Optional[Scheduler] = None,
+        scheduler: Optional[SchedulerLike] = None,
     ) -> None:
         # An injected scheduler (e.g. the race detector's cohort-
         # permuting subclass) must be fresh: it becomes this world's
         # clock and the anchor of every component built below.
-        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.scheduler: SchedulerLike = (
+            scheduler if scheduler is not None else Scheduler())
         self.tracer = Tracer(enabled=trace, max_records=trace_max_records)
         # One registry per world: the simulated clock is the scheduler,
         # and every component reads the same registry via its network.
@@ -150,8 +158,9 @@ class World:
             "sched.queue", lambda: sched.pending_events, floor=None,
             owner="scheduler", gauge="sched.state.queue_depth")
         self.audit_scope.register(
-            "sched.queue.stale", lambda: sched._cancelled_in_queue,
-            floor=lambda: max(len(sched._queue) // 2, _COMPACT_MIN_QUEUE - 1),
+            "sched.queue.stale", lambda: sched.stale_entries,
+            floor=lambda: max(sched.pending_events // 2,
+                              _COMPACT_MIN_QUEUE - 1),
             owner="scheduler", gauge="sched.state.stale_entries")
 
     def audit(self, strict: bool = False) -> AuditReport:

@@ -20,7 +20,8 @@ from repro.analysis.race import (CohortPermuter, RaceRecorder, RaceScheduler,
                                  permutation_sweep)
 from repro.analysis.scenarios import GOLDEN_SCENARIOS
 from repro.errors import SimulationError
-from repro.sim.scheduler import Scheduler, Timer
+from repro.sim.reference_scheduler import ReferenceTimer
+from repro.sim.scheduler import Scheduler
 
 
 # ----------------------------------------------------------------------
@@ -136,7 +137,7 @@ class Network:
 
 
 def _arrival(time, tiebreak, src):
-    timer = Timer(time, Network()._arrive, (src, b""))
+    timer = ReferenceTimer(time, Network()._arrive, (src, b""))
     timer._key = (time, tiebreak)
     return (time, tiebreak, timer)
 
@@ -145,7 +146,7 @@ def _barrier(time, tiebreak):
     def crash():
         pass
 
-    timer = Timer(time, crash, ())
+    timer = ReferenceTimer(time, crash, ())
     timer._key = (time, tiebreak)
     return (time, tiebreak, timer)
 
