@@ -178,6 +178,11 @@ def run_broadcast_fanout(kernel, modern, rounds=100, fan=600):
     for r in range(rounds):
         sched.call_at(r * 0.02, round_, r)
     sched.run()
+    if modern:
+        # The batched-post counter moves once per cohort entry — on
+        # both kernels (the reference shim keeps parity).
+        assert sched.batched_posted == rounds * fan, (
+            f"batched_posted {sched.batched_posted} != {rounds * fan}")
     return sched.events_processed
 
 

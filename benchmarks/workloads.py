@@ -1,26 +1,69 @@
 """Workload generators for the benchmark harness.
 
-Two classic load models over any stub-like object:
+Three load models over any stub-like object:
 
 * :func:`closed_loop` — a fixed population of clients, each issuing the
   next request when the previous reply arrives (optionally after think
   time).  Models the paper's interactive browser users.
-* :func:`open_loop` — requests arrive by a seeded exponential process
-  regardless of completions.  Models aggregate internet traffic hitting
-  a gateway.
+* :func:`open_loop` — requests arrive by a seeded stochastic process
+  (exponential, or a heavy-tailed alternative) regardless of
+  completions.  Models aggregate internet traffic hitting a gateway.
+* :func:`farm_open_loop` — the gateway-farm workload: 10^5-10^6
+  *logical* clients, each arrival belonging to its own client identity,
+  with the whole arrival schedule precomputed from one seed and
+  injected through :meth:`Scheduler.post_batch` cohorts (hundreds of
+  bulk posts instead of one timer per arrival).
 
-Both record per-request simulated latencies; :func:`percentiles`
-summarises them.
+All models draw every random number from a seeded ``random.Random`` —
+the same seed reproduces the same schedule byte for byte.
+:func:`percentiles` summarises recorded latencies.
 """
 
 from __future__ import annotations
 
+import math
 import random
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import CorbaSystemException
 from repro.sim.world import Promise, World
 
 Op = Tuple[str, tuple]  # (operation name, args)
+
+#: Heavy-tail cap: bounded-Pareto samples are clamped at this multiple
+#: of the mean, so one astronomical gap cannot stall a finite run.
+PARETO_CAP_MEANS = 50.0
+
+
+def interarrival_sampler(rng: random.Random, mean: float,
+                         distribution: str = "exponential",
+                         ) -> Callable[[], float]:
+    """A zero-arg sampler of inter-arrival gaps with the given mean.
+
+    ``exponential`` is the Poisson process; ``lognormal`` (sigma=1,
+    mean-matched) and ``pareto`` (alpha=1.5 bounded Pareto, clamped at
+    :data:`PARETO_CAP_MEANS` means) model the bursty, heavy-tailed
+    arrival processes of aggregate internet traffic.
+    """
+    if distribution == "exponential":
+        rate = 1.0 / mean
+        return lambda: rng.expovariate(rate)
+    if distribution == "lognormal":
+        sigma = 1.0
+        mu = math.log(mean) - sigma * sigma / 2.0
+        return lambda: rng.lognormvariate(mu, sigma)
+    if distribution == "pareto":
+        alpha = 1.5
+        xmin = mean * (alpha - 1.0) / alpha
+        cap = mean * PARETO_CAP_MEANS
+        return lambda: min(cap, xmin * rng.paretovariate(alpha))
+    raise ValueError(f"unknown inter-arrival distribution {distribution!r}")
+
+
+def is_shed(exc: Exception) -> bool:
+    """Was this failure an admission-control shed (TRANSIENT)?"""
+    return (isinstance(exc, CorbaSystemException)
+            and "Transient" in str(exc))
 
 
 def closed_loop(
@@ -74,10 +117,20 @@ def open_loop(
     mix: Callable[[random.Random, int], Op],
     seed: int = 0,
     timeout: float = 600.0,
+    interarrival: str = "exponential",
+    stub_for: Optional[Callable[[int], Any]] = None,
 ) -> List[float]:
-    """Issue requests with exponential inter-arrival times for
-    ``duration_s`` of simulated time; wait for all completions."""
+    """Issue requests with seeded stochastic inter-arrival times for
+    ``duration_s`` of simulated time; wait for all completions.
+
+    ``interarrival`` selects the gap distribution (see
+    :func:`interarrival_sampler`).  ``stub_for(i)`` — when given —
+    picks the stub for the i-th arrival, letting one open-loop process
+    multiplex many logical client identities (each stub carrying its
+    own); without it every arrival goes through ``stub``.
+    """
     rng = random.Random(seed)
+    gap = interarrival_sampler(rng, 1.0 / rate_per_s, interarrival)
     latencies: List[float] = []
     state = {"issued": 0, "completed": 0, "closed": False}
     deadline = world.now + duration_s
@@ -86,23 +139,105 @@ def open_loop(
         if world.now >= deadline:
             state["closed"] = True
             return
-        name, args = mix(rng, state["issued"])
+        index = state["issued"]
+        target = stub_for(index) if stub_for is not None else stub
+        name, args = mix(rng, index)
         state["issued"] += 1
         started = world.now
-        promise = stub.call(name, *args)
+        promise = target.call(name, *args)
 
         def on_done(p: Promise) -> None:
             latencies.append(world.now - started)
             state["completed"] += 1
 
         promise.on_done(on_done)
-        world.scheduler.call_after(rng.expovariate(rate_per_s), arrive)
+        world.scheduler.call_after(gap(), arrive)
 
     arrive()
     world.scheduler.run_until(
         lambda: state["closed"] and state["completed"] == state["issued"],
         timeout=timeout)
     return latencies
+
+
+def farm_open_loop(
+    world: World,
+    make_stub: Callable[[int], Any],
+    arrivals: int,
+    rate_per_s: float,
+    mix: Callable[[random.Random, int], Op],
+    seed: int = 0,
+    interarrival: str = "exponential",
+    cohort_quantum: float = 0.002,
+    timeout: float = 600.0,
+) -> Dict[str, Any]:
+    """The gateway-farm workload: a precomputed open-loop schedule at
+    farm scale, injected through the scheduler's bulk cohort path.
+
+    The whole arrival schedule (``arrivals`` gaps from one seeded
+    sampler) is computed up front, quantised into ``cohort_quantum``
+    buckets, and each bucket is injected with one
+    :meth:`Scheduler.post_batch` call — so 10^5-10^6 arrivals cost
+    hundreds of bulk posts, not a timer apiece, while preserving
+    per-arrival event granularity and deterministic ordering.
+
+    ``make_stub(i)`` builds (or reuses) the stub for the i-th arrival —
+    the seam where logical-client identity multiplexing plugs in: a
+    farm driver derives ``uid = f"farm/{i % num_clients}"`` and returns
+    a multiplexed stub stamped with that identity.
+
+    Returns a summary dict: per-request ``latencies`` of served
+    requests, counts of ``served``/``shed``/``failed`` arrivals (shed =
+    admission-control TRANSIENT, the farm's lost offered load), and the
+    ``span`` from first arrival to last served completion.
+    """
+    rng = random.Random(seed)
+    gap = interarrival_sampler(rng, 1.0 / rate_per_s, interarrival)
+    offsets: List[float] = []
+    at = 0.0
+    for _ in range(arrivals):
+        at += gap()
+        offsets.append(at)
+    cohorts: Dict[int, List[tuple]] = {}
+    for i, offset in enumerate(offsets):
+        cohorts.setdefault(int(offset / cohort_quantum), []).append((i,))
+
+    started_at = world.now
+    latencies: List[float] = []
+    state = {"served": 0, "shed": 0, "failed": 0, "last": started_at}
+
+    def fire(i: int) -> None:
+        stub = make_stub(i)
+        name, args = mix(rng, i)
+        started = world.now
+        promise = stub.call(name, *args)
+
+        def on_done(p: Promise) -> None:
+            if p.failed:
+                state["shed" if is_shed(p.error) else "failed"] += 1
+                return
+            latencies.append(world.now - started)
+            state["served"] += 1
+            state["last"] = world.now
+
+        promise.on_done(on_done)
+
+    post_batch = world.scheduler.post_batch
+    for slot in sorted(cohorts):
+        post_batch(slot * cohort_quantum, fire, cohorts[slot])
+
+    world.scheduler.run_until(
+        lambda: (state["served"] + state["shed"] + state["failed"]
+                 == arrivals),
+        timeout=timeout)
+    return {
+        "latencies": latencies,
+        "served": state["served"],
+        "shed": state["shed"],
+        "failed": state["failed"],
+        "arrivals": arrivals,
+        "span": state["last"] - started_at,
+    }
 
 
 def percentiles(samples: Sequence[float],

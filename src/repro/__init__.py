@@ -30,11 +30,14 @@ Quickstart::
 """
 
 from .core import (
+    CircuitBreaker,
     DuplicateSuppressor,
     FtClientLayer,
     FtRequester,
     Gateway,
+    GatewayPool,
     InvocationId,
+    MuxRequester,
     OperationId,
     ResponseId,
     UNUSED_CLIENT_ID,
@@ -69,6 +72,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "BadOperation",
+    "CircuitBreaker",
     "CommFailure",
     "ConfigurationError",
     "CorbaSystemException",
@@ -77,6 +81,7 @@ __all__ = [
     "FtClientLayer",
     "FtRequester",
     "Gateway",
+    "GatewayPool",
     "GroupHandle",
     "GroupInfo",
     "Interface",
@@ -85,6 +90,7 @@ __all__ = [
     "Ior",
     "LatencyModel",
     "MarshalError",
+    "MuxRequester",
     "NestedCall",
     "NoResponse",
     "ObjectNotExist",

@@ -51,6 +51,7 @@ SIM_ONLY_PREFIXES: Tuple[str, ...] = (
 #: Modules whose classes own audit-registered stateful collections.
 AUDIT_MODULES: Tuple[str, ...] = (
     "repro.core.gateway", "repro.core.duplicates",
+    "repro.core.gateway_pool",
     "repro.eternal.replication", "repro.totem.member",
 )
 

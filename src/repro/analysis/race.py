@@ -80,6 +80,7 @@ EFFORT_SERIES: Tuple[str, ...] = (
     "net.datagrams.sent",
     "net.datagrams.delivered",
     "sched.timers.rescheduled",
+    "sched.post.batched",
     "totem.broadcasts",
     "totem.datagrams",
     "totem.bytes.broadcast",
@@ -103,8 +104,7 @@ def _lane_of(timer: ReferenceTimer) -> Optional[Tuple[str, str]]:
     """FIFO lane of a network-arrival event (its source host), or None
     for barrier events whose order must not move."""
     qual = getattr(timer.fn, "__qualname__", "")
-    if qual.endswith("Network._arrive") or qual.endswith(
-            "Network._arrive_bucket"):
+    if qual.endswith("Network._arrive"):
         return ("net", timer.args[0])
     return None
 

@@ -4,6 +4,10 @@
   domain's edge, with duplicate response suppression, per-server-group
   client-id counters, request mirroring across redundant gateways, and
   crashed-peer takeover (paper sections 3.1-3.5).
+* :class:`GatewayPool` / :class:`CircuitBreaker` — the gateway farm:
+  consistent-hash sharding of the client population across N gateways,
+  pool-aware multi-profile IORs, admission control, and per-gateway
+  circuit breakers (section 3.5 scaled out for capacity).
 * :class:`FtClientLayer` / :class:`FtRequester` — the thin client-side
   interception layer of section 3.5 (multi-profile traversal, unique
   client ids, reissue on failover).
@@ -14,9 +18,10 @@
 * :mod:`~repro.core.headers` — the Figure 4 wire headers.
 """
 
-from .client_interceptor import FtClientLayer, FtRequester
+from .client_interceptor import FtClientLayer, FtRequester, MuxRequester
 from .duplicates import DuplicateSuppressor
 from .gateway import Gateway
+from .gateway_pool import CircuitBreaker, GatewayPool
 from .headers import (
     decode_ft_header,
     encode_ft_header,
@@ -37,6 +42,7 @@ from .identifiers import (
 )
 
 __all__ = [
+    "CircuitBreaker",
     "ClientId",
     "DedupKey",
     "DuplicateSuppressor",
@@ -44,6 +50,8 @@ __all__ = [
     "FtClientLayer",
     "FtRequester",
     "Gateway",
+    "GatewayPool",
+    "MuxRequester",
     "InvocationId",
     "OperationId",
     "ResponseId",

@@ -192,6 +192,29 @@ class FtRequester(Requester):
             self._transmit(request_id)
 
 
+class MuxRequester(FtRequester):
+    """An FtRequester multiplexed over the ORB's shared connection cache.
+
+    :class:`FtRequester` opens a private TCP connection per requester —
+    right for one interactive client, ruinous for a farm of 10^5–10^6
+    logical clients.  This variant draws connections from
+    :meth:`~repro.orb.orb.Orb.connection_to` instead, so every logical
+    client homed on the same gateway shares one TCP connection while
+    still stamping its own identity context on each request.  The
+    gateway's per-connection member tracking keeps gone/purge handling
+    correct for every multiplexed identity.
+
+    Failover semantics are unchanged: when the shared connection dies,
+    each multiplexed requester's pending invocations fail, and each
+    advances to its next IOR profile and reissues — landing on the ring
+    successor that inherits its key range under a gateway pool.
+    """
+
+    def _ensure_connection(self) -> IiopClientConnection:
+        self.connection = self.orb.connection_to(self.current_address)
+        return self.connection
+
+
 class FtClientLayer:
     """Factory for fault-tolerance-aware stubs over a plain ORB."""
 
@@ -209,11 +232,18 @@ class FtClientLayer:
     def client_uid(self) -> str:
         return self.context.client_uid
 
-    def string_to_object(self, ior: Any, interface: Interface) -> Stub:
-        """Create a gateway-failover-capable stub for ``ior``."""
+    def string_to_object(self, ior: Any, interface: Interface,
+                         multiplexed: bool = False) -> Stub:
+        """Create a gateway-failover-capable stub for ``ior``.
+
+        ``multiplexed`` shares the ORB's cached connections instead of
+        opening a private one per requester (farm workloads: many
+        logical clients per host — see :class:`MuxRequester`).
+        """
         if isinstance(ior, str):
             ior = Ior.from_string(ior)
-        requester = FtRequester(self, ior)
+        requester_cls = MuxRequester if multiplexed else FtRequester
+        requester = requester_cls(self, ior)
         self.requesters.append(requester)
         return Stub(self.orb, ior, interface, requester=requester)
 

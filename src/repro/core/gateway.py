@@ -33,10 +33,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, TYPE_CHECKING
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple, TYPE_CHECKING
 
-from ..errors import ObjectNotExist
+from ..errors import ObjectNotExist, TransientError
 from ..iiop.giop import MsgType, decode_request, parse_header
 from ..iiop.service_context import extract_client_id, extract_trace_context
 from ..orb.connection import IiopServerConnection
@@ -80,6 +81,10 @@ class _PendingRequest:
     trace_hop: int = 0
     trace_span: int = 0
     order_span: int = 0
+    # True while this request occupies a slot of the gateway's bounded
+    # admission window (gateway-farm backpressure); always False when
+    # admission control is disabled or on mirror-reconstructed records.
+    admitted: bool = False
 
 
 class Gateway(Process):
@@ -91,7 +96,9 @@ class Gateway(Process):
                  mirror_requests: bool = True,
                  response_cache_limit: int = 10_000,
                  cancel_ttl: float = 30.0,
-                 oneway_ttl: float = 30.0) -> None:
+                 oneway_ttl: float = 30.0,
+                 admission_window: Optional[int] = None,
+                 admission_queue_limit: int = 64) -> None:
         super().__init__(host, f"gateway@{host.name}:{port}")
         self.domain = domain
         self.port = port
@@ -113,6 +120,10 @@ class Gateway(Process):
         # the section 3.4 weakness the paper analyses).
         self._counters: Dict[int, itertools.count] = {}
         self._conn_ids: Dict[IiopServerConnection, ClientId] = {}
+        # Every ClientId a connection has carried: one TCP connection
+        # may multiplex many logical clients (farm workloads), and each
+        # of them needs gone/purge handling when the socket closes.
+        self._conn_members: Dict[IiopServerConnection, Set[ClientId]] = {}
         self._routing: Dict[ClientId, IiopServerConnection] = {}
         self._pending: Dict[Tuple[ClientId, OperationId], _PendingRequest] = {}
         self._cache: Dict[Tuple[ClientId, OperationId], bytes] = {}
@@ -134,6 +145,19 @@ class Gateway(Process):
         self._reap_seq = itertools.count()
         self._reap_timer = None
 
+        # Admission control (gateway farm, paper section 3.3 scaled
+        # out): a bounded in-flight window for two-way requests plus a
+        # bounded overflow queue.  ``None`` disables the gate entirely —
+        # the pre-farm behaviour, byte-identical event ordering.
+        self.admission_window = admission_window
+        self.admission_queue_limit = admission_queue_limit
+        self._admission_queue: Deque[
+            Tuple[Any, bytes, IiopServerConnection, float]] = deque()
+        self._own_inflight = 0
+        # Back-reference installed by GatewayPool.adopt(); None outside
+        # a pool.
+        self.pool = None
+
         # reprolint: disable=AUD001 -- fixed key set, bounded by construction
         self.stats = {
             "requests_received": 0,
@@ -153,6 +177,9 @@ class Gateway(Process):
             "oneways_completed": 0,
             "oneways_reaped": 0,
             "client_gone_deferred": 0,
+            "requests_queued": 0,
+            "requests_shed": 0,
+            "queued_dropped": 0,
         }
 
         # World-shared metrics (one registry per world; every gateway of
@@ -181,6 +208,17 @@ class Gateway(Process):
         self._m_oneway_completed = m.counter("gateway.oneway.completed")
         self._m_reap_oneway = m.counter("gateway.reap.oneway")
         self._m_gone_deferred = m.counter("gateway.clients.gone_deferred")
+        # Admission counters are created only when the gate is armed, so
+        # farm-free scenarios keep their exact metric key set (and the
+        # bench extra_info snapshots stay baseline-comparable).
+        if admission_window is not None:
+            self._m_adm_admitted = m.counter("gateway.adm.admitted")
+            self._m_adm_queued = m.counter("gateway.adm.queued")
+            self._m_adm_shed = m.counter("gateway.adm.shed")
+        else:
+            self._m_adm_admitted = None
+            self._m_adm_queued = None
+            self._m_adm_shed = None
 
         self._register_audit()
 
@@ -211,6 +249,22 @@ class Gateway(Process):
                        floor=lambda: sum(1 for c in self._conn_ids if c.open),
                        owner=owner, active=alive,
                        gauge="gateway.state.conn_ids")
+        scope.register("gateway.conn_members",
+                       lambda: sum(len(s)
+                                   for s in self._conn_members.values()),
+                       floor=lambda: sum(
+                           len(s) for c, s in self._conn_members.items()
+                           if c.open),
+                       owner=owner, active=alive,
+                       gauge="gateway.state.conn_members")
+        scope.register("gateway.admission_queue",
+                       lambda: len(self._admission_queue),
+                       floor=0, owner=owner, active=alive,
+                       gauge="gateway.state.admission_queue")
+        scope.register("gateway.admission_inflight",
+                       lambda: self._own_inflight,
+                       floor=0, owner=owner, active=alive,
+                       gauge="gateway.state.admission_inflight")
         scope.register("gateway.gone_pending",
                        lambda: len(self._gone_pending),
                        floor=0, owner=owner, active=alive,
@@ -274,7 +328,7 @@ class Gateway(Process):
             own_pending = [p for p in self._pending.values()
                            if p.forwarder == self.host.name
                            and p.response_expected]
-            if not own_pending:
+            if not own_pending and not self._admission_queue:
                 self.stop()
                 promise.resolve(None)
             else:
@@ -310,8 +364,22 @@ class Gateway(Process):
         request = decode_request(message)
         self.stats["requests_received"] += 1
         self._m_req_received.inc()
-        received_at = self.scheduler.now
+        self._process_request(request, message, connection,
+                              self.scheduler.now)
 
+    def _process_request(self, request, message: bytes,
+                         connection: IiopServerConnection,
+                         received_at: float,
+                         from_queue: bool = False) -> None:
+        """Figure 5a pipeline for one decoded Request.
+
+        ``from_queue`` marks re-entry from the admission overflow queue:
+        the entry was already counted on receipt and the caller
+        (``_release_admission``) guarantees a free window slot, so the
+        admission gate is bypassed.  ``received_at`` is always the
+        original socket receipt time, so the latency histogram includes
+        queueing delay.
+        """
         from ..eternal.naming import parse_object_key
         parsed = parse_object_key(request.object_key)
         info = None
@@ -356,6 +424,13 @@ class Gateway(Process):
                 op=request.operation, client=str(client_id), hop=trace_hop)
             spans.instant(trace_id, "gateway.ingress", parent=container,
                           source=self.name)
+            if self.pool is not None and not self.pool.is_hash_owner(
+                    self, client_id, connection):
+                # The client's consistent-hash owner is another pool
+                # gateway: this invocation arrived here via failover,
+                # locate re-homing, or least-connections fallback.
+                spans.instant(trace_id, "pool.reroute", parent=container,
+                              source=self.name)
 
         cached = self._cache.get(cache_key)
         if cached is not None:
@@ -370,11 +445,46 @@ class Gateway(Process):
                 spans.end(container, outcome="cache_replay")
             return
 
+        # Admission gate (gateway farm): two-way requests occupy one
+        # slot of the bounded in-flight window; overflow queues up to
+        # ``admission_queue_limit`` and beyond that is shed with a
+        # TRANSIENT system exception — the standard CORBA "try again
+        # elsewhere/later" signal, which enhanced clients surface and
+        # open-loop workloads count as lost offered load.  Cache
+        # replays (above) are always served: a failed-over client
+        # re-collecting a response must never be bounced.
+        admitted = False
+        if self.admission_window is not None and request.response_expected:
+            if not from_queue and self._own_inflight >= self.admission_window:
+                if len(self._admission_queue) < self.admission_queue_limit:
+                    self._admission_queue.append(
+                        (request, message, connection, received_at))
+                    self.stats["requests_queued"] += 1
+                    self._m_adm_queued.inc()
+                    if container:
+                        spans.end(container, outcome="queued")
+                    return
+                self.stats["requests_shed"] += 1
+                self._m_adm_shed.inc()
+                if container:
+                    spans.end(container, outcome="shed")
+                if connection.open:
+                    connection.send(reply_for_exception(
+                        request.request_id,
+                        TransientError(
+                            "gateway admission window and queue full")))
+                if self.pool is not None:
+                    self.pool.on_shed(self)
+                return
+            self._own_inflight += 1
+            admitted = True
+            self._m_adm_admitted.inc()
+
         pending = _PendingRequest(
             client_id=client_id, op_id=op_id, target_group=target_group,
             iiop=message, forwarder=self.host.name,
             response_expected=request.response_expected,
-            received_at=received_at,
+            received_at=received_at, admitted=admitted,
             trace_id=trace_id, trace_hop=trace_hop, trace_span=container)
         if container:
             # IIOP -> Totem translation (Figure 5a: identify, build the
@@ -432,6 +542,17 @@ class Gateway(Process):
         parsed = parse_object_key(object_key)
         here = (parsed is not None and parsed[0] == self.domain.name
                 and self.rm.registry.get(parsed[1]) is not None)
+        if here and self.pool is not None:
+            # Pool re-homing for plain ORBs: if this client's
+            # consistent-hash home is another pool gateway, answer
+            # OBJECT_FORWARD with an IOR ordered from that home — the
+            # GIOP-standard redirect that needs no client enhancement.
+            forward = self.pool.locate_forward(self, parsed[1], connection)
+            if forward is not None:
+                connection.send(encode_locate_reply(
+                    request_id, LocateStatus.OBJECT_FORWARD,
+                    forward_ior=forward))
+                return
         status = LocateStatus.OBJECT_HERE if here else LocateStatus.UNKNOWN_OBJECT
         connection.send(encode_locate_reply(request_id, status))
 
@@ -462,6 +583,8 @@ class Gateway(Process):
         # The tombstone is discarded when the late response arrives
         # (_on_domain_response) or, if no response ever comes, by TTL.
         self._schedule_reap("cancel", key, record, self.cancel_ttl)
+        if record is not None:
+            self._release_admission(record)
 
     def _forward(self, pending: _PendingRequest) -> None:
         from ..eternal.messages import DomainMessage, MsgKind
@@ -499,6 +622,11 @@ class Gateway(Process):
         if ctx is not None:
             client_id = f"{ctx.client_uid}#{ctx.incarnation}"
             self._conn_ids[connection] = client_id
+            members = self._conn_members.get(connection)
+            if members is None:
+                self._conn_members[connection] = {client_id}
+            else:
+                members.add(client_id)
             return client_id
         known = self._conn_ids.get(connection)
         if known is not None:
@@ -506,6 +634,7 @@ class Gateway(Process):
         counter = self._counters.setdefault(target_group, itertools.count(1))
         client_id = self.index * 1_000_000 + next(counter)
         self._conn_ids[connection] = client_id
+        self._conn_members[connection] = {client_id}
         return client_id
 
     def _votes_for(self, info) -> int:
@@ -514,24 +643,58 @@ class Gateway(Process):
         live = len(info.live_replicas(self.rm.live_hosts)) or len(info.placement)
         return live // 2 + 1
 
-    def _on_client_close(self, connection: IiopServerConnection) -> None:
-        client_id = self._conn_ids.pop(connection, None)
-        if client_id is None:
+    def _release_admission(self, record: _PendingRequest) -> None:
+        """Free the window slot an admitted request held and pull queued
+        requests into the freed capacity.
+
+        Queue drains happen inside the event that resolved the slot
+        (response delivery, cancel, client purge), so admission keeps
+        the deterministic same-event ordering the rest of the gateway
+        relies on.  Queued entries whose client connection has since
+        closed are dropped — their reply could never be written.
+        """
+        if not record.admitted:
             return
-        if self._routing.get(client_id) is connection:
-            del self._routing[client_id]
-        has_pending = any(cid == client_id for (cid, _) in self._pending)
-        if has_pending:
-            # Operations are still in flight: defer the domain-wide
-            # purge until the last one resolves, so peers keep the
-            # mirror records they need to collect the responses
-            # (section 3.5).  Without the deferral those records leak —
-            # CLIENT_GONE is never re-sent once suppressed here.
-            self._gone_pending.add(client_id)
-            self.stats["client_gone_deferred"] += 1
-            self._m_gone_deferred.inc()
-        else:
-            self._broadcast_client_gone(client_id)
+        record.admitted = False
+        self._own_inflight -= 1
+        if self.pool is not None:
+            self.pool.on_served(self)
+        queue = self._admission_queue
+        window = self.admission_window
+        while queue and self._own_inflight < window:
+            request, message, connection, received_at = queue.popleft()
+            if not connection.open:
+                self.stats["queued_dropped"] += 1
+                continue
+            self._process_request(request, message, connection,
+                                  received_at, from_queue=True)
+
+    def _on_client_close(self, connection: IiopServerConnection) -> None:
+        members = self._conn_members.pop(connection, None)
+        client_id = self._conn_ids.pop(connection, None)
+        if members is None:
+            if client_id is None:
+                return
+            members = {client_id}
+        # A multiplexed connection carried many logical clients; each
+        # departs independently (sorted for deterministic broadcast
+        # order — ids are ints or strings, never mixed on one socket).
+        for cid in sorted(members, key=str):
+            if self._routing.get(cid) is connection:
+                del self._routing[cid]
+            has_pending = any(k[0] == cid for k in self._pending)
+            if has_pending:
+                # Operations are still in flight: defer the domain-wide
+                # purge until the last one resolves, so peers keep the
+                # mirror records they need to collect the responses
+                # (section 3.5).  Without the deferral those records
+                # leak — CLIENT_GONE is never re-sent once suppressed
+                # here.
+                self._gone_pending.add(cid)
+                self.stats["client_gone_deferred"] += 1
+                self._m_gone_deferred.inc()
+            else:
+                self._broadcast_client_gone(cid)
 
     def _broadcast_client_gone(self, client_id: ClientId) -> None:
         """Tell the other gateways the client is gone so they delete any
@@ -630,6 +793,10 @@ class Gateway(Process):
             # to be reclaimed by a reissue (bounded gateway memory).
             self._cache.pop(next(iter(self._cache)))
         record = self._pending.pop(cache_key, None)
+        if record is not None:
+            # Resolving the slot *before* routing the reply lets the
+            # freed window capacity pull queued work in this same event.
+            self._release_admission(record)
         container = (record.trace_span if record is not None
                      and record.trace_span else (tr[1] if tr else 0))
         if cache_key in self._cancelled:
@@ -716,7 +883,8 @@ class Gateway(Process):
         self.stats["clients_gone"] += 1
         self._m_clients_gone.inc()
         for key in [k for k in self._pending if k[0] == client_id]:
-            del self._pending[key]
+            record = self._pending.pop(key)
+            self._release_admission(record)
         for key in [k for k in self._cache if k[0] == client_id]:
             del self._cache[key]
         self._routing.pop(client_id, None)

@@ -226,12 +226,19 @@ class FaultToleranceDomain:
                     [handle.name, self.ior_for(handle).to_string()])
 
     def add_gateway(self, port: int = 2809, mirror_requests: bool = True,
-                    host_name: Optional[str] = None) -> Any:
-        """Add a gateway processor on the domain's edge (section 3)."""
+                    host_name: Optional[str] = None,
+                    **gateway_kwargs: Any) -> Any:
+        """Add a gateway processor on the domain's edge (section 3).
+
+        ``gateway_kwargs`` pass through to :class:`repro.core.gateway.
+        Gateway` (admission window/queue limits, TTLs, cache size) —
+        the gateway-pool seam.
+        """
         from ..core.gateway import Gateway  # local import: layering
         host_name = host_name or f"{self.name}-gw{len(self.gateways)}"
         host = self._add_processor(host_name, replica_host=False)
-        gateway = Gateway(self, host, port, mirror_requests=mirror_requests)
+        gateway = Gateway(self, host, port, mirror_requests=mirror_requests,
+                          **gateway_kwargs)
         self.gateways.append(gateway)
         gateway.start()
         self._announce(GroupInfo(

@@ -24,7 +24,7 @@ group.
 
 from __future__ import annotations
 
-from typing import List, Tuple, TYPE_CHECKING
+from typing import List, Optional, Tuple, TYPE_CHECKING
 
 from ..errors import ConfigurationError
 from ..iiop.ior import Ior, stitch_profiles
@@ -59,16 +59,22 @@ class EternalInterceptor:
         return addresses
 
     def published_ior(self, group_id: int, type_id: str,
-                      first_gateway_only: bool = False) -> Ior:
+                      first_gateway_only: bool = False,
+                      addresses: Optional[List[Tuple[str, int]]] = None,
+                      ) -> Ior:
         """The IOR Eternal publishes for a replicated group.
 
         ``first_gateway_only`` produces the single-profile IOR that
         plain ORBs effectively see (section 3.4); the default stitches
-        one profile per redundant gateway (section 3.5).
+        one profile per redundant gateway (section 3.5).  ``addresses``
+        overrides the profile order entirely — the gateway pool uses it
+        to publish per-client IORs whose profiles walk the consistent-
+        hash ring from the client's home gateway.
         """
-        addresses = self.gateway_addresses()
-        if first_gateway_only:
-            addresses = addresses[:1]
+        if addresses is None:
+            addresses = self.gateway_addresses()
+            if first_gateway_only:
+                addresses = addresses[:1]
         return stitch_profiles(type_id, addresses,
                                make_object_key(self.domain.name, group_id))
 

@@ -196,11 +196,18 @@ def decode_locate_request(message: bytes) -> Tuple[int, bytes]:
 
 
 def encode_locate_reply(request_id: int, status: int,
-                        little_endian: bool = False) -> bytes:
+                        little_endian: bool = False,
+                        forward_ior=None) -> bytes:
+    """GIOP LocateReply.  An ``OBJECT_FORWARD`` status carries the IOR
+    the client should retry against as the reply body, exactly as GIOP
+    1.0 specifies; ``decode_locate_reply`` reads only the two leading
+    ulongs, so readers unaware of the body remain compatible."""
     out = CdrOutputStream(little_endian=little_endian)
     out.write_raw(b"\x00" * GIOP_HEADER_SIZE)
     out.write_ulong(request_id)
     out.write_ulong(status)
+    if forward_ior is not None:
+        forward_ior.encode(out)
     return _finalise(out, MsgType.LOCATE_REPLY, little_endian)
 
 
@@ -211,6 +218,20 @@ def decode_locate_reply(message: bytes) -> Tuple[int, int]:
         raise MarshalError(f"not a LocateReply (type {message_type})")
     stream = _body_stream(message, little_endian)
     return stream.read_ulong(), stream.read_ulong()
+
+
+def decode_locate_forward(message: bytes):
+    """Decode the forwarding IOR from an ``OBJECT_FORWARD`` LocateReply;
+    ``None`` when the reply carries another status (or no body)."""
+    from .ior import Ior  # giop does not depend on ior at import time
+    message_type, little_endian, size = parse_header(message)
+    if message_type != MsgType.LOCATE_REPLY:
+        raise MarshalError(f"not a LocateReply (type {message_type})")
+    stream = _body_stream(message, little_endian)
+    stream.read_ulong()  # request_id
+    if stream.read_ulong() != LocateStatus.OBJECT_FORWARD:
+        return None
+    return Ior.decode(stream)
 
 
 def encode_cancel_request(request_id: int, little_endian: bool = False) -> bytes:

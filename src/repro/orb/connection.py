@@ -20,6 +20,7 @@ from ..iiop.giop import (
     GiopFramer,
     MsgType,
     ReplyMessage,
+    decode_locate_reply,
     decode_reply,
     encode_message_error,
     parse_header,
@@ -29,6 +30,9 @@ from ..sim.tcp import TcpEndpoint, TcpStack
 
 ReplyHandler = Callable[[ReplyMessage], None]
 FailureHandler = Callable[[Exception], None]
+# LocateReply handler: receives the raw GIOP message so callers can
+# decode the optional OBJECT_FORWARD body themselves.
+LocateHandler = Callable[[bytes], None]
 
 # Metric-name suffixes for giop.msg.<type> counters.
 _MSG_TYPE_NAMES = {
@@ -64,6 +68,7 @@ class IiopClientConnection:
         self._framer = GiopFramer()
         self._send_queue: List[bytes] = []
         self._pending: Dict[int, Tuple[ReplyHandler, FailureHandler]] = {}
+        self._pending_locates: Dict[int, Tuple[LocateHandler, FailureHandler]] = {}
         self._closed_listeners: List[Callable[[], None]] = []
         self._metrics = tcp.network.metrics
         self._m_bytes_out = self._metrics.counter("giop.bytes.out", unit="B")
@@ -109,7 +114,11 @@ class IiopClientConnection:
         self.state = IiopClientConnection.CLOSED
         pending = list(self._pending.values())
         self._pending.clear()
+        locates = list(self._pending_locates.values())
+        self._pending_locates.clear()
         for _, on_failure in pending:
+            on_failure(exc)
+        for _, on_failure in locates:
             on_failure(exc)
         for fn in self._closed_listeners:
             fn()
@@ -130,6 +139,17 @@ class IiopClientConnection:
             on_failure(CommFailure(f"connection to {self.address} is closed"))
             return
         self._pending[request_id] = (on_reply, on_failure)
+        self._transmit(encoded)
+
+    def send_locate(self, encoded: bytes, request_id: int,
+                    on_reply: LocateHandler,
+                    on_failure: FailureHandler) -> None:
+        """Send a LocateRequest and route its LocateReply (raw bytes) to
+        ``on_reply``; connection loss routes to ``on_failure``."""
+        if not self.usable:
+            on_failure(CommFailure(f"connection to {self.address} is closed"))
+            return
+        self._pending_locates[request_id] = (on_reply, on_failure)
         self._transmit(encoded)
 
     def send_oneway(self, encoded: bytes) -> None:
@@ -171,6 +191,15 @@ class IiopClientConnection:
                 handlers = self._pending.pop(reply.request_id, None)
                 if handlers is not None:
                     handlers[0](reply)
+            elif message_type == MsgType.LOCATE_REPLY:
+                try:
+                    locate_id, _ = decode_locate_reply(message)
+                except MarshalError:
+                    self.close()
+                    return
+                locate_handlers = self._pending_locates.pop(locate_id, None)
+                if locate_handlers is not None:
+                    locate_handlers[0](message)
             elif message_type == MsgType.CLOSE_CONNECTION:
                 self._on_peer_close()
 

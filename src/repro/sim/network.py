@@ -203,16 +203,19 @@ class Network:
         size: int = 0,
     ) -> int:
         """Offer ``payload`` to every target with per-pair latency, using
-        one scheduler event per *distinct delay* instead of one per
-        target.
+        one bulk ``post_batch`` push per *distinct delay* — one calendar
+        entry per target, but only one scheduling call per delay group.
 
         Semantically identical to looping ``send`` over ``targets`` in
         the given order: per-target accounting, liveness and partition
         checks at both send and delivery time, and delivery order are
-        all preserved (targets sharing a delay are delivered in the
-        order given, which is how back-to-back ``send`` calls would have
-        interleaved; distinct delays never tie).  Returns the number of
-        delivery events scheduled.
+        all preserved (a batch draws consecutive tiebreaks atomically,
+        so targets sharing a delay fire in the order given — how
+        back-to-back ``send`` calls would have interleaved; distinct
+        delays never tie).  Each target arrives through the same
+        ``_arrive`` entry point as ``send``, so the race detector's
+        per-source delivery lanes see broadcast and unicast traffic
+        identically.  Returns the number of delivery entries scheduled.
         """
         count = len(targets)
         self.datagrams_sent += count
@@ -223,32 +226,23 @@ class Network:
         latency = self.latency_model.latency
         # Group reachable targets by delay, preserving target order
         # within a group and first-occurrence order across groups.
-        groups: Dict[float, List[Tuple[Host, DeliverFn]]] = {}
+        groups: Dict[float, List[Tuple[str, Host, Any, DeliverFn]]] = {}
         for dst, deliver in targets:
             if not self.can_communicate(src_name, dst.name):
                 continue
             delay = latency(src_name, dst.name)
             bucket = groups.get(delay)
             if bucket is None:
-                groups[delay] = [(dst, deliver)]
+                groups[delay] = [(src_name, dst, payload, deliver)]
             else:
-                bucket.append((dst, deliver))
+                bucket.append((src_name, dst, payload, deliver))
 
-        for delay, bucket in groups.items():
-            self.scheduler.post(
-                delay, self._arrive_bucket, src_name, payload, bucket)
-        return len(groups)
-
-    def _arrive_bucket(self, src_name: str, payload: Any,
-                       bucket: List[Tuple[Host, DeliverFn]]) -> None:
-        """Delivery-time half of :meth:`broadcast` for one delay group."""
-        for dst, deliver in bucket:
-            if not dst.alive:
-                continue
-            if not self.can_communicate(src_name, dst.name):
-                continue
-            self.datagrams_delivered += 1
-            deliver(payload)
+        scheduled = 0
+        post_batch = self.scheduler.post_batch
+        for delay, argss in groups.items():
+            post_batch(delay, self._arrive, argss)
+            scheduled += len(argss)
+        return scheduled
 
     def host_crashed(self, host: Host) -> None:
         self.tracer.emit(self.scheduler.now, "net.crash", "network",

@@ -91,6 +91,7 @@ class ReferenceScheduler:
         self._cancelled_in_queue = 0
         self.timers_rescheduled = 0
         self.queue_compactions = 0
+        self.batched_posted = 0
         self._m_rescheduled = None  # optional repro.obs counters
         self._m_compactions = None
 
@@ -98,6 +99,8 @@ class ReferenceScheduler:
         """Export reschedule/compaction counts through a metrics registry."""
         self._m_rescheduled = registry.counter("sched.timers.rescheduled")
         self._m_compactions = registry.counter("sched.queue.compactions")
+        registry.counter_fn("sched.post.batched",
+                            lambda: self.batched_posted)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -160,6 +163,9 @@ class ReferenceScheduler:
         the differential harness can replay ``post_batch`` programs on
         both kernels and prove the batch is semantically a loop.
         """
+        if not isinstance(argss, (list, tuple)):
+            argss = list(argss)
+        self.batched_posted += len(argss)
         for args in argss:
             self.post(delay, fn, *args)
 

@@ -139,6 +139,7 @@ class Scheduler:
         self._compact_watermark = _COMPACT_MIN_QUEUE // 2 + 1
         self.timers_rescheduled = 0
         self.queue_compactions = 0
+        self.batched_posted = 0
 
     def attach_metrics(self, registry) -> None:
         """Export reschedule/compaction counts through a metrics registry.
@@ -150,6 +151,8 @@ class Scheduler:
                             lambda: self.timers_rescheduled)
         registry.counter_fn("sched.queue.compactions",
                             lambda: self.queue_compactions)
+        registry.counter_fn("sched.post.batched",
+                            lambda: self.batched_posted)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -256,6 +259,7 @@ class Scheduler:
             argss = list(argss)
         if not argss:
             return
+        self.batched_posted += len(argss)
         time = self.now + delay
         tiebreaks = itertools.islice(self._tiebreak, len(argss))
         entries = [(time, tb, None, fn, args)

@@ -64,13 +64,15 @@ class TotemTransport:
                   size: int = 64) -> None:
         """Send ``message`` to every registered member (including sender).
 
-        Fan-out is batched: the network schedules one delivery event
-        per distinct latency (in practice two — the sender's loopback
-        and the LAN group) instead of one per member, which is what
-        turns token rotation from O(N²) heap operations per rotation
-        into O(N).  Members are offered the datagram in deterministic
-        registration order, exactly as the per-member ``send`` loop
-        used to interleave them.
+        Fan-out is batched: the network pushes the whole per-latency
+        delivery cohort through ``Scheduler.post_batch`` (one bulk
+        scheduling call per distinct latency — in practice two, the
+        sender's loopback and the LAN group) instead of a full
+        scheduling call per member.  Members are offered the datagram
+        in deterministic registration order, exactly as the per-member
+        ``send`` loop used to interleave them.
+        ``totem.broadcast.batched_deliveries`` counts the per-target
+        delivery entries scheduled through the batched path.
         """
         self.broadcasts += 1
         self._m_broadcasts.inc()

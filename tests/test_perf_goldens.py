@@ -25,6 +25,7 @@ GOLDEN_DIR = pathlib.Path(__file__).parent / "golden"
 NEW_COUNTERS = {
     "sched.timers.rescheduled",
     "sched.queue.compactions",
+    "sched.post.batched",
     "totem.broadcast.batched_deliveries",
     "giop.bytes.zero_copy",
     # State-lifecycle hardening (gateway retention layer).
@@ -98,5 +99,11 @@ def test_new_counters_are_present_and_active():
                        if k.split("{")[0] == "sched.timers.rescheduled")
     batched = next(v for k, v in series.items()
                    if k.split("{")[0] == "totem.broadcast.batched_deliveries")
+    posted = next(v for k, v in series.items()
+                  if k.split("{")[0] == "sched.post.batched")
     assert rescheduled["value"] > 0
     assert batched["value"] > 0
+    # Broadcast fan-out rides the bulk post_batch path, one count per
+    # per-target delivery entry: never fewer than the Totem-batched
+    # deliveries it carries.
+    assert posted["value"] >= batched["value"] > 0

@@ -10,8 +10,9 @@ Usage::
 The script
 
 * runs ``benchmarks/bench_totem_ring.py``,
-  ``benchmarks/bench_gateway_scaling.py`` and
-  ``benchmarks/bench_scheduler_throughput.py`` under pytest-benchmark,
+  ``benchmarks/bench_gateway_scaling.py``,
+  ``benchmarks/bench_scheduler_throughput.py`` and
+  ``benchmarks/bench_gateway_farm.py`` under pytest-benchmark,
 * writes the dated raw results plus the comparison to
   ``BENCH_<YYYY-MM-DD>.json`` in the repository root,
 * reports the headline speedup of each benchmark against the recorded
@@ -53,7 +54,10 @@ BENCH_FILES = [
     "benchmarks/bench_totem_ring.py",
     "benchmarks/bench_gateway_scaling.py",
     "benchmarks/bench_scheduler_throughput.py",
+    "benchmarks/bench_gateway_farm.py",
 ]
+FARM_BENCH_PREFIX = "test_farm_"
+FARM_CURVE_PATH = "FARM_CURVE.json"
 # extra_info keys that legitimately vary with implementation details
 # (event counts), depend on wall-clock (throughput rates), or hold
 # nested blobs rather than simulated scalars.
@@ -182,6 +186,55 @@ def write_job_summary(fresh: dict) -> None:
                 f.write(f"- {line}\n")
 
 
+def write_farm_summary(fresh: dict) -> None:
+    """Publish the gateway-farm scaling curve.
+
+    Renders the per-pool-size curve from ``test_farm_scaling_curve``
+    (sustained throughput, shed/unroutable rates, p95 latency) as a
+    table on stdout and in the CI job summary, and writes the full farm
+    rows to ``FARM_CURVE.json`` for upload as an advisory artifact.
+    """
+    farm = {b["name"]: b.get("extra_info", {})
+            for b in fresh["benchmarks"]
+            if b["name"].startswith(FARM_BENCH_PREFIX)}
+    if not farm:
+        return
+    curve_info = next((info for name, info in farm.items()
+                       if "speedup_4v1" in info), {})
+    sizes = sorted({int(key[1:key.index("_")])
+                    for key in curve_info if key.startswith("k")
+                    and key[1:key.index("_")].isdigit()})
+    header = ("| gateways | sustained req/s | shed rate | unroutable rate "
+              "| p95 latency (s) |")
+    rule = "|---:|---:|---:|---:|---:|"
+    lines = [header, rule]
+    for k in sizes:
+        lines.append(
+            f"| {k} | {curve_info.get(f'k{k}_sustained_tput_per_s', '?')} "
+            f"| {curve_info.get(f'k{k}_shed_rate', '?')} "
+            f"| {curve_info.get(f'k{k}_unroutable_rate', '?')} "
+            f"| {curve_info.get(f'k{k}_lat_p95_s', '?')} |")
+    speedup = (f"throughput speedup: "
+               f"{curve_info.get('speedup_4v1', '?')}x at 4 gateways, "
+               f"{curve_info.get('speedup_8v1', '?')}x at 8 (vs 1)")
+    print("\ngateway-farm scaling curve:")
+    for line in lines:
+        print(f"  {line}")
+    print(f"  {speedup}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write("### Gateway-farm scaling curve\n\n")
+            for line in lines:
+                f.write(f"{line}\n")
+            f.write(f"\n{speedup}\n")
+    curve_path = os.path.join(REPO_ROOT, FARM_CURVE_PATH)
+    with open(curve_path, "w") as f:
+        json.dump({"benchmarks": farm}, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {curve_path}")
+
+
 def trace_overhead(rounds: int) -> int:
     """Measure causal-tracing overhead on the gateway-scaling workload.
 
@@ -284,6 +337,7 @@ def main() -> int:
         return 0
 
     write_job_summary(fresh)
+    write_farm_summary(fresh)
 
     blocking = report["failures"]
     advisory = []

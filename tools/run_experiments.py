@@ -37,6 +37,7 @@ EXPERIMENT_OF_FILE = {
     "bench_ablation_totem_tuning": "E13 Totem tuning ablation",
     "bench_gateway_state_lifecycle": "E14 Gateway state lifecycle & audit",
     "bench_scheduler_throughput": "E15 Sim-kernel throughput",
+    "bench_gateway_farm": "E16 Gateway farm scaling",
 }
 
 
