@@ -22,8 +22,10 @@ from repro import (
 from repro.apps import COUNTER_INTERFACE, CounterServant
 
 
-def build_domain(world, name="dom", num_hosts=3, gateways=1, mirror=True):
-    domain = FaultToleranceDomain(world, name, num_hosts=num_hosts)
+def build_domain(world, name="dom", num_hosts=3, gateways=1, mirror=True,
+                 totem_config=None):
+    domain = FaultToleranceDomain(world, name, num_hosts=num_hosts,
+                                  totem_config=totem_config)
     for _ in range(gateways):
         domain.add_gateway(port=2809, mirror_requests=mirror)
     domain.await_stable()

@@ -126,6 +126,34 @@ class DuplicateSuppressor:
                        active=active,
                        gauge=None if gp is None else f"{gp}.delivered")
 
+    def reduce_votes(self, predicate, votes_needed: int = 1):
+        """Lower the vote requirement of matching pending expectations.
+
+        A live VOTING→non-voting style switch strands in-flight
+        expectations that were registered with a majority requirement:
+        after the switch only one responder will ever speak, so the
+        quorum can never form.  Receivers relax those expectations to
+        ``votes_needed`` at the switch point (a total-order event, hence
+        consistent everywhere).  Any payload that already satisfies the
+        relaxed requirement is delivered immediately; the newly-ready
+        ``(key, payload)`` pairs are returned (in pending-map insertion
+        order) for the caller to route.
+        """
+        target = max(1, votes_needed)
+        ready = []
+        for key in [k for k in self._pending if predicate(k)]:
+            pending = self._pending[key]
+            if pending.votes_needed <= target:
+                continue
+            pending.votes_needed = target
+            for payload, count in pending.counts.items():
+                if count >= target:
+                    self._mark_delivered(key)
+                    self.stats["delivered"] += 1
+                    ready.append((key, payload))
+                    break
+        return ready
+
     def forget_where(self, predicate) -> int:
         """Drop pending expectations and delivered-memory whose key
         matches ``predicate``; returns how many entries were removed.

@@ -180,7 +180,15 @@ class Gateway(Process):
             "requests_queued": 0,
             "requests_shed": 0,
             "queued_dropped": 0,
+            "requests_unservable": 0,
+            "votes_relaxed": 0,
         }
+
+        # Style-era metrics (live style switching, unservable voting
+        # targets) are created on first use so pre-existing scenarios
+        # keep their exact metric key set.
+        # reprolint: disable=AUD001 -- metric-object cache, bounded by the fixed name set
+        self._lazy_counters: Dict[str, Any] = {}
 
         # World-shared metrics (one registry per world; every gateway of
         # the world aggregates into the same series).  The response
@@ -445,6 +453,26 @@ class Gateway(Process):
                 spans.end(container, outcome="cache_replay")
             return
 
+        # Unservable fail-fast: a voting target with zero live replicas
+        # can never assemble a majority, so a two-way request to it
+        # would pin a pending record (and an admission slot) until the
+        # client gives up.  Fail it now with the standard CORBA "try
+        # again later" signal.  Checked before mirroring so peer
+        # gateways never record a request that was never forwarded.
+        votes = self._votes_for(info)
+        if votes is None and request.response_expected:
+            self.stats["requests_unservable"] += 1
+            self._lazy_counter("gateway.req.unservable").inc()
+            if container:
+                spans.end(container, outcome="unservable")
+            if connection.open:
+                connection.send(reply_for_exception(
+                    request.request_id,
+                    TransientError(
+                        f"server group {target_group} has no live "
+                        f"replicas")))
+            return
+
         # Admission gate (gateway farm): two-way requests occupy one
         # slot of the bounded in-flight window; overflow queues up to
         # ``admission_queue_limit`` and beyond that is shed with a
@@ -494,7 +522,7 @@ class Gateway(Process):
         self._pending[cache_key] = pending
         if request.response_expected:
             self._filter.expect((target_group, client_id, op_id),
-                                votes_needed=self._votes_for(info))
+                                votes_needed=votes or 1)
         else:
             # One-way: no response will ever pop this record.  It is
             # dropped when the forwarded INVOCATION is observed
@@ -637,10 +665,30 @@ class Gateway(Process):
         self._conn_members[connection] = {client_id}
         return client_id
 
-    def _votes_for(self, info) -> int:
+    def _lazy_counter(self, name: str):
+        """Counter created on first use: keeps the metric key set of
+        scenarios that never exercise the style-era paths unchanged."""
+        counter = self._lazy_counters.get(name)
+        if counter is None:
+            counter = self._lazy_counters[name] = self.metrics.counter(name)
+        return counter
+
+    def _votes_for(self, info) -> Optional[int]:
+        """Majority size for a voting target; 1 for non-voting styles.
+
+        ``None`` means the voting group has no live replica at all: no
+        majority can ever form, so the invocation is unservable and the
+        caller must fail fast instead of registering an expectation that
+        can never resolve.  Before the first membership view (bootstrap)
+        the static placement stands in for liveness.
+        """
         if not info.style.needs_voting:
             return 1
-        live = len(info.live_replicas(self.rm.live_hosts)) or len(info.placement)
+        live_hosts = self.rm.live_hosts
+        live = (len(info.live_replicas(live_hosts)) if live_hosts
+                else len(info.placement))
+        if live == 0:
+            return None
         return live // 2 + 1
 
     def _release_admission(self, record: _PendingRequest) -> None:
@@ -750,6 +798,8 @@ class Gateway(Process):
                     self.stats["oneways_completed"] += 1
                     self._m_oneway_completed.inc()
                     self._maybe_flush_client_gone(msg.client_id)
+        elif kind is MsgKind.STYLE_SWITCH:
+            self._on_style_switch(msg)
         elif kind is MsgKind.CLIENT_GONE:
             self._purge_client(msg.client_id)
 
@@ -852,6 +902,15 @@ class Gateway(Process):
         self._m_mirrors.inc()
         cache_key = (msg.client_id, msg.op_id)
         response_expected = msg.data.get("response_expected", True)
+        info = self.rm.registry.get(msg.data["target_group"])
+        if (response_expected and info is not None
+                and self._votes_for(info) is None):
+            # A two-way mirror for a voting target with zero live
+            # replicas, delivered after the membership sweep already
+            # failed the request: reconstructing a pending record (or a
+            # filter expectation) here would pin state that no response
+            # and no later sweep will ever resolve.
+            return
         if cache_key not in self._pending and cache_key not in self._cache:
             tr = msg.trace
             record = _PendingRequest(
@@ -874,10 +933,147 @@ class Gateway(Process):
             # The record is dropped when the forwarded INVOCATION is
             # observed delivered, or by TTL if it never is.
             return
-        info = self.rm.registry.get(msg.data["target_group"])
-        votes = self._votes_for(info) if info is not None else 1
+        votes = (self._votes_for(info) or 1) if info is not None else 1
         self._filter.expect((msg.data["target_group"], msg.client_id,
                              msg.op_id), votes_needed=votes)
+
+    def _on_style_switch(self, msg: "DomainMessage") -> None:
+        """A live replication-style switch (a total-order event, hence
+        observed at the same logical instant by every gateway).
+
+        If the group left a voting style, in-flight expectations
+        registered with the old majority requirement can never fill —
+        only one responder will speak from now on.  Relax them to a
+        single vote and flush any response that already satisfies the
+        relaxed requirement."""
+        from ..eternal.styles import ReplicationStyle
+        data = msg.data or {}
+        group_id = data.get("group_id")
+        try:
+            style = ReplicationStyle(data.get("style"))
+        except ValueError:
+            return
+        if group_id is None or style.needs_voting:
+            return
+        ready = self._filter.reduce_votes(
+            lambda key, g=group_id: key[0] == g, 1)
+        for key, payload in ready:
+            self._deliver_relaxed(key, payload)
+
+    def _deliver_relaxed(self, filter_key, payload: bytes) -> None:
+        """Route one response freed by a vote-requirement relaxation.
+
+        Mirrors the DELIVER arm of :meth:`_on_domain_response`, but the
+        delivery is counted under ``gateway.style.vote_relaxed`` — not
+        the ``gateway.resp.*`` family, which partitions
+        ``gateway.resp.received`` exactly and must not absorb
+        deliveries that no freshly received response carried in."""
+        _, client_id, op_id = filter_key
+        cache_key = (client_id, op_id)
+        self.stats["votes_relaxed"] += 1
+        self._lazy_counter("gateway.style.vote_relaxed").inc()
+        self._cache[cache_key] = payload
+        while len(self._cache) > self.response_cache_limit:
+            self._cache.pop(next(iter(self._cache)))
+        record = self._pending.pop(cache_key, None)
+        if record is not None:
+            self._release_admission(record)
+            if record.order_span:
+                self._span_collector.end(record.order_span)
+                record.order_span = 0
+        if cache_key in self._cancelled:
+            self._cancelled.discard(cache_key)
+            self._maybe_flush_client_gone(client_id)
+            return
+        connection = self._routing.get(client_id)
+        if connection is not None and connection.open:
+            connection.send(payload)
+            if record is not None and record.received_at is not None:
+                self._m_req_latency.observe(
+                    self.scheduler.now - record.received_at)
+            if record is not None and record.trace_span:
+                spans = self._span_collector
+                spans.instant(record.trace_id, "gateway.egress",
+                              parent=record.trace_span, source=self.name)
+                spans.end(record.trace_span, outcome="vote_relaxed",
+                          by=self.name)
+            self.tracer.emit(self.scheduler.now, "gateway.deliver", self.name,
+                             "response delivered (votes relaxed)",
+                             client=client_id, op=str(op_id))
+        elif (record is not None and record.trace_span
+                and record.forwarder == self.host.name):
+            self._span_collector.end(record.trace_span,
+                                     outcome="unroutable", by=self.name)
+        self._maybe_flush_client_gone(client_id)
+
+    def _fail_unservable_pending(self) -> None:
+        """Membership changed: re-examine pending two-way requests whose
+        target is a voting group.
+
+        A voting group with zero live replicas can never again form a
+        majority — those requests are failed fast with TRANSIENT (the
+        domain keeps its dedup memory, so a reissue after replicas
+        return is re-servable).  A voting group that merely shrank has
+        a smaller live majority; expectations registered with the old
+        quorum are relaxed to the new one and flushed if satisfied.
+        """
+        voting_targets: Dict[int, Optional[int]] = {}
+        for record in self._pending.values():
+            if not record.response_expected:
+                continue
+            gid = record.target_group
+            if gid in voting_targets:
+                continue
+            info = self.rm.registry.get(gid)
+            if info is None or not info.style.needs_voting:
+                continue
+            voting_targets[gid] = self._votes_for(info)
+        for gid in sorted(voting_targets):
+            votes = voting_targets[gid]
+            if votes is None:
+                self._fail_group_pending(gid)
+            else:
+                ready = self._filter.reduce_votes(
+                    lambda key, g=gid: key[0] == g, votes)
+                for key, payload in ready:
+                    self._deliver_relaxed(key, payload)
+
+    def _fail_group_pending(self, group_id: int) -> None:
+        """Fail every pending two-way request addressed to a voting
+        group that lost all replicas: TRANSIENT reply to the client,
+        filter expectation cancelled, admission slot freed."""
+        spans = self._span_collector
+        for key in [k for k, r in self._pending.items()
+                    if r.response_expected and r.target_group == group_id]:
+            record = self._pending.pop(key)
+            client_id, op_id = key
+            self._filter.cancel((group_id, client_id, op_id))
+            self._release_admission(record)
+            self.stats["requests_unservable"] += 1
+            self._lazy_counter("gateway.req.unservable").inc()
+            if record.order_span:
+                spans.end(record.order_span)
+                record.order_span = 0
+            if key in self._cancelled:
+                # The client already withdrew interest: no reply, and
+                # the tombstone has now served its purpose.
+                self._cancelled.discard(key)
+            else:
+                connection = self._routing.get(client_id)
+                if connection is not None and connection.open:
+                    # The external request id was recovered into the
+                    # child sequence of the operation id.
+                    connection.send(reply_for_exception(
+                        op_id.child_seq,
+                        TransientError(
+                            f"server group {group_id} lost all "
+                            f"replicas")))
+            if record.trace_span and record.forwarder == self.host.name:
+                # Only the owning gateway closes the container; mirror
+                # observers share the span id but must not close it.
+                spans.end(record.trace_span, outcome="unservable",
+                          by=self.name)
+            self._maybe_flush_client_gone(client_id)
 
     def _purge_client(self, client_id: ClientId) -> None:
         self.stats["clients_gone"] += 1
@@ -968,7 +1164,10 @@ class Gateway(Process):
         Deterministic takeover: the lowest-named live gateway re-issues;
         duplicate detection inside the domain makes over-forwarding safe.
         """
-        if not self.mirror_requests or not self.alive:
+        if not self.alive:
+            return
+        self._fail_unservable_pending()
+        if not self.mirror_requests:
             return
         leader = min(self._live_gateway_hosts())
         if leader != self.host.name:

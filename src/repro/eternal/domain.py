@@ -32,6 +32,7 @@ from .managers import (
     REPLICATION_MANAGER_INTERFACE,
     ReplicationManagerServant,
     ResourceManager,
+    StyleManager,
 )
 from .messages import DomainMessage, MsgKind
 from .naming import (
@@ -42,7 +43,7 @@ from .naming import (
 from .properties import FaultToleranceProperties
 from .registry import GroupInfo
 from .replication import ReplicationMechanisms
-from .styles import ReplicationStyle
+from .styles import ReplicationStyle, StylePolicy
 
 REPLICATION_MANAGER_FACTORY = "eternal.replication_manager"
 
@@ -318,6 +319,58 @@ class FaultToleranceDomain:
         self.coordinator_rm().multicast(DomainMessage(
             kind=MsgKind.GROUP_ANNOUNCE, source_group=0, target_group=0,
             data={"info": info}))
+
+    def switch_style(self, group: Union[GroupHandle, str, int],
+                     style: ReplicationStyle) -> None:
+        """Switch a live group's replication style at runtime.
+
+        The STYLE_SWITCH control message's position in the total order
+        is the quiesce point: operations ordered before it complete
+        under the old engine, operations after it run under the new
+        one, and no invocation is lost or duplicated across the cut
+        (the Replication Mechanisms relax stranded voting expectations
+        and hand state across at the switch).  Only stateful styles
+        participate — a STATELESS group has no consistency contract to
+        hand over.
+        """
+        handle = self.resolve(group)
+        rm = self.coordinator_rm()
+        info = rm.registry.get(handle.group_id)
+        if info is None:
+            raise ConfigurationError(
+                f"group {handle.name} is not announced yet")
+        if not info.style.has_state or not style.has_state:
+            raise ConfigurationError(
+                "live style switching is defined between stateful styles "
+                f"only ({info.style.value} -> {style.value})")
+        rm.multicast(DomainMessage(
+            kind=MsgKind.STYLE_SWITCH, source_group=0, target_group=0,
+            data={"group_id": handle.group_id, "style": style.value,
+                  "epoch": info.style_epoch + 1}))
+
+    def enable_adaptive_styles(self, policy: Optional["StylePolicy"] = None,
+                               groups: Optional[Sequence[
+                                   Union[GroupHandle, str, int]]] = None,
+                               tick_interval: float = 0.25
+                               ) -> Dict[str, "StyleManager"]:
+        """Run a :class:`~repro.eternal.managers.StyleManager` on every
+        live replica host (leaderless, like the Resource Manager).
+
+        ``groups`` restricts adaptation to the given groups; ``None``
+        adapts every application group.  Returns the managers by host.
+        """
+        from .managers import StyleManager
+        group_ids = (None if groups is None
+                     else [self.resolve(g).group_id for g in groups])
+        managers: Dict[str, StyleManager] = {}
+        for host_name in self.replica_host_names:
+            rm = self.rms.get(host_name)
+            if rm is not None and rm.alive:
+                managers[host_name] = StyleManager(
+                    rm, policy=policy, groups=group_ids,
+                    tick_interval=tick_interval)
+        self.style_managers = managers
+        return managers
 
     # ==================================================================
     # Invocation (driver/ambassador API)

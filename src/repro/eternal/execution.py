@@ -77,6 +77,14 @@ class Execution:
         # Open ``rm.execute`` span id while this execution is in flight
         # (0 when tracing is disabled or the invocation was untraced).
         self.trace_span = 0
+        # silent: the terminal response must not be multicast (style
+        # catch-up replay on a replica that never responds for this op).
+        # replay: nested calls must be multicast even where a
+        # leader-follower follower would normally stay quiet — the
+        # cached responses exist only in peers' dedup tables and must be
+        # solicited again.
+        self.silent = False
+        self.replay = False
 
     # ------------------------------------------------------------------
 

@@ -71,6 +71,22 @@ class GroupLog:
         if self._m_checkpoints is not None:
             self._m_checkpoints.inc()
 
+    def adopt_live_state(self, state: Dict[str, Any], ts: int,
+                         version: int = 1) -> None:
+        """Seed the checkpoint from a live servant during a style switch.
+
+        Same truncation semantics as :meth:`install_checkpoint`, but a
+        handoff from a running replica is not a recovery installation —
+        it does not count toward ``eternal.checkpoint.installs``, and a
+        tie with the current checkpoint timestamp is adopted (the live
+        servant is at least as new as any checkpoint at the same cut).
+        """
+        if self.checkpoint is not None and ts < self.checkpoint.ts:
+            return
+        self.checkpoint = Checkpoint(state=state, ts=ts, version=version)
+        self.invocations = [m for m in self.invocations if m.timestamp > ts]
+        self.ops_since_checkpoint = 0
+
     def truncate_covered(self, ts: int) -> int:
         """Drop log entries already covered by state installed elsewhere
         (the warm-passive primary's own update): truncation only — no

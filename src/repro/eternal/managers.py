@@ -43,6 +43,7 @@ from .styles import ReplicationStyle
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .domain import FaultToleranceDomain
     from .replication import ReplicationMechanisms
+    from .styles import StylePolicy
 
 
 REPLICATION_MANAGER_INTERFACE = Interface("EternalReplicationManager", [
@@ -244,6 +245,114 @@ class ResourceManager:
                 if host in load:
                     load[host] += 1
         return sorted(load, key=lambda h: (load[h], h))
+
+
+class StyleManager:
+    """Adaptive replication-style control (leaderless, deterministic).
+
+    Watches the world-shared metrics registry for overload (admission
+    sheds, client-observed latency) and fault pressure (detector
+    declarations, failovers) and switches live groups between their
+    configured style and a cheaper one — by default
+    ``LEADER_FOLLOWER``, which keeps hot replicas but multicasts a
+    single response instead of N (and never waits on a voting quorum):
+
+    * **demote** under load: an ``ACTIVE`` / ``ACTIVE_WITH_VOTING``
+      group whose domain sheds requests faster than
+      ``demote_shed_rate`` per second, or whose p50 client latency
+      exceeds ``demote_latency_s``, is switched to
+      ``policy.demote_to`` (its original style is remembered);
+    * **promote** under faults: a demoted group is switched back to
+      its remembered style when the fault rate reaches
+      ``promote_fault_rate`` per second — redundancy is worth paying
+      for again when processors are actually dying.
+
+    Like the :class:`ResourceManager`, one instance runs per replica
+    host with no leader: every instance reads the same shared registry
+    and metrics at the same simulated instants, computes the same
+    decision, and multicasts the same STYLE_SWITCH carrying the same
+    target epoch — the epoch guard in the Replication Mechanisms
+    applies the redundant copies exactly once.  ``min_dwell_s``
+    (restarted by *any* observed epoch change, including operator
+    switches) prevents flapping.
+    """
+
+    def __init__(self, rm: "ReplicationMechanisms",
+                 policy: "StylePolicy" = None,
+                 groups: Sequence[int] = None,
+                 tick_interval: float = 0.25) -> None:
+        from .styles import StylePolicy
+        self.rm = rm
+        self.policy = policy if policy is not None else StylePolicy()
+        self.groups = None if groups is None else set(groups)
+        self.tick_interval = tick_interval
+        self.stats = {"demotions_requested": 0, "promotions_requested": 0}
+        self._baseline: Dict[int, ReplicationStyle] = {}
+        self._seen_epoch: Dict[int, int] = {}
+        self._last_change: Dict[int, float] = {}
+        self._last_shed = 0
+        self._last_faults = 0
+        self._schedule_tick()
+
+    def _schedule_tick(self) -> None:
+        if self.rm.alive:
+            self.rm.after(self.tick_interval, self._tick)
+
+    def _tick(self) -> None:
+        self._evaluate()
+        self._schedule_tick()
+
+    def _rates(self):
+        """Per-tick deltas of the overload/fault signals, as rates."""
+        m = self.rm.metrics
+        shed = m.value("gateway.adm.shed")
+        faults = (m.value("fault.detector.faults")
+                  + m.value("fault.failover.count"))
+        shed_rate = (shed - self._last_shed) / self.tick_interval
+        fault_rate = (faults - self._last_faults) / self.tick_interval
+        self._last_shed, self._last_faults = shed, faults
+        latency = m.get("gateway.req.latency")
+        p50 = (latency.quantile(0.5)
+               if latency is not None and latency.count else None)
+        return shed_rate, fault_rate, p50
+
+    def _evaluate(self) -> None:
+        shed_rate, fault_rate, p50 = self._rates()
+        now = self.rm.scheduler.now
+        policy = self.policy
+        for info in self.rm.registry.all_groups():
+            gid = info.group_id
+            if self.groups is not None and gid not in self.groups:
+                continue
+            if info.factory_name == "":
+                continue  # infrastructure pseudo-groups (gateways)
+            # Restart the dwell clock on any epoch change, ours or not:
+            # an operator switch must also buy its settling time.
+            if self._seen_epoch.get(gid) != info.style_epoch:
+                self._seen_epoch[gid] = info.style_epoch
+                self._last_change[gid] = now
+            if now - self._last_change.get(gid, 0.0) < policy.min_dwell_s:
+                continue
+            overloaded = (
+                shed_rate >= policy.demote_shed_rate
+                or (p50 is not None and p50 >= policy.demote_latency_s))
+            if (info.style in (ReplicationStyle.ACTIVE,
+                               ReplicationStyle.ACTIVE_WITH_VOTING)
+                    and info.style is not policy.demote_to and overloaded):
+                self._baseline.setdefault(gid, info.style)
+                self.stats["demotions_requested"] += 1
+                self._emit(info, policy.demote_to)
+            elif (info.style is policy.demote_to
+                    and gid in self._baseline
+                    and fault_rate >= policy.promote_fault_rate):
+                self.stats["promotions_requested"] += 1
+                self._emit(info, self._baseline[gid])
+
+    def _emit(self, info: GroupInfo, style: ReplicationStyle) -> None:
+        self.rm.multicast(DomainMessage(
+            kind=MsgKind.STYLE_SWITCH, source_group=0, target_group=0,
+            data={"group_id": info.group_id, "style": style.value,
+                  "epoch": info.style_epoch + 1}))
 
 
 class EvolutionManager:

@@ -47,6 +47,10 @@ class MsgKind(enum.Enum):
     GATEWAY_MIRROR = "gateway_mirror"      # record a client request group-wide
     CLIENT_GONE = "client_gone"            # purge per-client gateway state
 
+    # Leader-follower (semi-active) replication.
+    ORDER_RECORD = "order_record"          # leader's nested-call ordering decision
+    STYLE_SWITCH = "style_switch"          # runtime replication-style change
+
     # Membership support.
     REGISTRY_SYNC = "registry_sync"        # directory snapshot for joiners
     REGISTRY_SYNC_REQUEST = "registry_sync_request"

@@ -56,6 +56,11 @@ class FaultToleranceProperties:
             raise ConfigurationError(
                 "ACTIVE_WITH_VOTING needs >= 3 replicas for a meaningful "
                 "majority")
+        if self.replication_style is ReplicationStyle.LEADER_FOLLOWER \
+                and self.initial_number_replicas < 2:
+            raise ConfigurationError(
+                "LEADER_FOLLOWER needs >= 2 replicas (a leader with no "
+                "followers is just a primary)")
 
     # ------------------------------------------------------------------
     # Wire form: the flat string properties of a CORBA property sequence

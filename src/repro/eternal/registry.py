@@ -36,6 +36,7 @@ class GroupInfo:
     initial_replicas: int = 0
     version: int = 1
     checkpoint_interval: int = 10   # ops between cold-passive checkpoints
+    style_epoch: int = 0            # bumped by each runtime style switch
 
     def primary(self, live_hosts: Sequence[str]) -> Optional[str]:
         """Deterministic primary: first placement host that is live."""
@@ -81,6 +82,9 @@ class GroupRegistry:
     def __contains__(self, group_id: int) -> bool:
         return group_id in self._groups
 
+    def __len__(self) -> int:
+        return len(self._groups)
+
     # ------------------------------------------------------------------
     # Idempotent mutations (driven by delivered control messages)
     # ------------------------------------------------------------------
@@ -116,6 +120,20 @@ class GroupRegistry:
             return False
         self._groups[group_id] = replace(
             info, placement=tuple(h for h in info.placement if h != host_name))
+        return True
+
+    def set_style(self, group_id: int, style: ReplicationStyle,
+                  epoch: int) -> bool:
+        """Apply a runtime style switch.  Returns True if it took effect.
+
+        Epoch-guarded so redundant STYLE_SWITCH multicasts (replicated
+        managers each emit one) apply exactly once: only an epoch
+        strictly beyond the entry's current one mutates the entry.
+        """
+        info = self._groups.get(group_id)
+        if info is None or epoch <= info.style_epoch:
+            return False
+        self._groups[group_id] = replace(info, style=style, style_epoch=epoch)
         return True
 
     def bump_version(self, group_id: int, factory_name: str) -> None:

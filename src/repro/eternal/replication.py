@@ -38,7 +38,7 @@ from ..core.identifiers import (
     dedup_key,
     external_operation_id,
 )
-from ..errors import ConfigurationError
+from ..errors import ConfigurationError, TransientError
 from ..iiop.giop import RequestMessage, decode_reply, decode_request, encode_request
 from ..orb.dispatch import (
     decode_result,
@@ -97,6 +97,10 @@ class _WaitingNested:
     group_id: int                      # the invoking (local) group
     call: NestedCall
     op_id: OperationId
+    # The multicast-ready nested invocation (None for egress waits).  A
+    # leader-follower promotion re-multicasts it: the dead leader may
+    # have crashed before issuing it, and targets deduplicate anyway.
+    message: Optional[DomainMessage] = None
 
 
 @dataclass
@@ -151,6 +155,11 @@ class ReplicationMechanisms(Process):
         self._waiting_nested: Dict[Tuple, _WaitingNested] = {}
         # Ambassador invocations keyed by (responder group, client id, op id).
         self._waiting_external: Dict[Tuple, _ExternalWaiter] = {}
+        # Leader-follower followers' withheld responses, group -> parent
+        # dedup key -> original invocation.  An entry retires when the
+        # leader's response for the same operation is delivered in total
+        # order; on promotion the survivor resends the cached replies.
+        self._lf_unacked: Dict[int, Dict[Tuple, DomainMessage]] = {}
 
         self._gateway = None               # attached repro.core.gateway.Gateway
         self._egress = None                # attached cross-domain egress client
@@ -171,6 +180,8 @@ class ReplicationMechanisms(Process):
             "state_transfers_sent": 0,
             "state_transfers_received": 0,
             "replays": 0,
+            "responses_withheld": 0,
+            "style_switches": 0,
         }
 
         # World-shared metrics, aggregated across all processors.
@@ -183,6 +194,13 @@ class ReplicationMechanisms(Process):
         self._m_failovers = m.counter("fault.failover.count")
         self._m_transfer_bytes = m.histogram("fault.state_transfer.bytes", unit="B")
         self._m_recovery_duration = m.histogram("fault.recovery.duration", unit="s")
+        # Leader-follower / style-switch counters (`rm.style.*`,
+        # `rm.invoke.unservable`) are created lazily through
+        # _lazy_counter(): a world that never uses the semi-active
+        # engine keeps byte-identical metric snapshots (the same
+        # contract the audit gauges honour).
+        # reprolint: disable=AUD001 -- metric-object cache, bounded by the fixed name set
+        self._lazy_counters: Dict[str, Any] = {}
 
         self._register_audit()
 
@@ -234,6 +252,24 @@ class ReplicationMechanisms(Process):
         if log is None:
             log = self.logs[group_id] = GroupLog(group_id, metrics=self.metrics)
         return log
+
+    def _lazy_counter(self, name: str):
+        """Counter created on first use (see the __init__ note)."""
+        counter = self._lazy_counters.get(name)
+        if counter is None:
+            counter = self._lazy_counters[name] = self.metrics.counter(name)
+        return counter
+
+    def _should_respond(self, info: GroupInfo) -> bool:
+        """Does this replica multicast the response it computed?
+
+        Styles that respond from every replica always do; otherwise only
+        the primary/leader speaks (passive primaries and leader-follower
+        leaders — followers execute for hot state but stay silent).
+        """
+        if info.style.responds_from_all:
+            return True
+        return info.primary(self.live_hosts) == self.host.name
 
     def _respond(self, invocation: DomainMessage, reply_iiop: bytes) -> None:
         response = DomainMessage(
@@ -314,10 +350,14 @@ class ReplicationMechanisms(Process):
                 self._span_collector.instant(
                     tr[0], "rm.duplicate", parent=tr[1], source=self.name,
                     status=existing.status)
-            if existing.status == "done" and existing.response_iiop is not None:
+            if (existing.status == "done"
+                    and existing.response_iiop is not None
+                    and self._should_respond(info)):
                 # Re-send the cached response: the duplicate may stem from
                 # a reinvocation whose original response was lost with a
                 # crashed gateway or primary (sections 3.3-3.5).
+                # Leader-follower followers hold the same cache but stay
+                # silent unless promoted.
                 self.stats["responses_resent"] += 1
                 self._respond(msg, existing.response_iiop)
             return
@@ -333,7 +373,8 @@ class ReplicationMechanisms(Process):
             seen.pop(next(iter(seen)))  # FIFO eviction, bounded memory
 
         style = info.style
-        i_execute = style.is_active or info.primary(self.live_hosts) == self.host.name
+        i_execute = (style.executes_everywhere
+                     or info.primary(self.live_hosts) == self.host.name)
         if style.is_passive:
             self._log_for(msg.target_group).record_invocation(msg)
         if not i_execute:
@@ -383,26 +424,36 @@ class ReplicationMechanisms(Process):
                        lambda: len(self._presync_buffer),
                        floor=0, owner=owner, active=alive,
                        gauge="rm.state.presync_buffer")
-        # Hosted replicas and the per-group primary memory are capacity,
-        # not churn: one entry per group this processor hosts (or has
-        # ever elected a primary for), so they are snapshot-only.
+        scope.register("rm.lf_unacked",
+                       lambda: sum(len(d) for d in self._lf_unacked.values()),
+                       floor=0, owner=owner, active=alive,
+                       gauge="rm.state.lf_unacked")
+        # Hosted replicas are capacity, not churn: one entry per group
+        # this processor hosts, so the registration is snapshot-only.
         scope.register("rm.replicas", lambda: len(self.replicas),
                        floor=None, owner=owner, active=alive,
                        gauge="rm.state.replicas")
+        # Primary memory floors at the directory size: one entry per
+        # *current* group.  An entry outliving its group's removal is a
+        # leak (regression-pinned in tests/test_style_switch.py).
         scope.register("rm.last_primary", lambda: len(self._last_primary),
-                       floor=None, owner=owner, active=alive)
+                       floor=lambda: len(self.registry), owner=owner,
+                       active=alive)
         self._response_filter.register_audit(scope, owner=owner, active=alive,
                                              prefix="rm.filter",
                                              gauge_prefix="rm.state.filter")
 
     def _execute(self, msg: DomainMessage, record: ReplicaRecord,
-                 info: GroupInfo, request: RequestMessage, key: Tuple) -> None:
+                 info: GroupInfo, request: RequestMessage, key: Tuple,
+                 silent: bool = False, replay: bool = False) -> None:
         interface = self.interfaces.get(info.interface_name)
         if interface is None:
             raise ConfigurationError(
                 f"no interface {info.interface_name!r} registered")
         execution = Execution(record.servant, interface, request,
                               parent_ts=msg.timestamp)
+        execution.silent = silent
+        execution.replay = replay
         if self._span_collector.enabled and msg.trace is not None:
             tr = msg.trace
             execution.trace_span = self._span_collector.start(
@@ -433,8 +484,18 @@ class ReplicationMechanisms(Process):
         seen = self._invocations_seen.setdefault(original.target_group, {})
         seen[key] = _InvocationRecord(status="done", response_iiop=reply,
                                       response_expected=execution.request.response_expected)
-        if execution.request.response_expected:
-            self._respond(original, reply)
+        if execution.request.response_expected and not execution.silent:
+            if self._should_respond(info):
+                self._respond(original, reply)
+            elif info.style.is_semi_active:
+                # Leader-follower follower: the reply is computed and
+                # cached but withheld — the leader's copy is the one on
+                # the wire.  Track it until the leader's response is
+                # delivered in total order, so a promoted survivor can
+                # resend every reply the dead leader never delivered.
+                self._lf_unacked.setdefault(info.group_id, {})[key] = original
+                self.stats["responses_withheld"] += 1
+                self._lazy_counter("rm.style.responses_withheld").inc()
         self._post_execution(original, info)
 
     def _post_execution(self, original: DomainMessage, info: GroupInfo) -> None:
@@ -485,6 +546,19 @@ class ReplicationMechanisms(Process):
             return
         target_iface = self.interfaces[target_info.interface_name]
         nested_op = target_iface.operation(call.operation)
+        votes = self._votes_needed(target_info)
+        if votes is None and not nested_op.oneway:
+            # Fail fast: a voting target with zero live replicas can
+            # never assemble a quorum (see _votes_needed).
+            self._lazy_counter("rm.invoke.unservable").inc()
+            self.tracer.emit(self.scheduler.now, "eternal.unservable",
+                             self.name,
+                             f"nested call to voting group {call.target!r} "
+                             "with zero live replicas")
+            outcome = execution.resume_error(TransientError(
+                f"voting group {call.target!r} has no live replicas"))
+            self._handle_outcome(execution, outcome, original, info, key)
+            return
         request = RequestMessage(
             request_id=_deterministic_request_id(op_id),
             response_expected=not nested_op.oneway,
@@ -510,10 +584,29 @@ class ReplicationMechanisms(Process):
         wait_key = (target_info.group_id, info.group_id, op_id)
         self._waiting_nested[wait_key] = _WaitingNested(
             execution=execution, original=original, nested_op=nested_op,
-            group_id=info.group_id, call=call, op_id=op_id)
-        self._response_filter.expect(
-            wait_key, votes_needed=self._votes_needed(target_info))
-        self.multicast(message)
+            group_id=info.group_id, call=call, op_id=op_id, message=message)
+        self._response_filter.expect(wait_key, votes_needed=votes or 1)
+        # Leader-follower: only the leader puts the nested invocation on
+        # the ring (one copy instead of N); followers derive the same
+        # operation id, register the same expectation, and resume on the
+        # totally-ordered response like everyone else.  Catch-up replays
+        # must still multicast — the cached response they need lives in
+        # the target's dedup table and has to be solicited again.
+        lf_follower = (info.style.is_semi_active and not execution.replay
+                       and info.primary(self.live_hosts) != self.host.name)
+        if not lf_follower:
+            self.multicast(message)
+            if info.style.is_semi_active and not nested_op.oneway:
+                # The leader's ordering record: followers verify their
+                # locally-derived identifiers against it (Figure 6
+                # determinism made checkable at runtime).
+                self._lazy_counter("rm.style.order.records").inc()
+                self.multicast(DomainMessage(
+                    kind=MsgKind.ORDER_RECORD,
+                    source_group=info.group_id,
+                    target_group=target_info.group_id,
+                    op_id=op_id,
+                    data={"op": nested_op.name}))
         if nested_op.oneway:
             # No response will come; resume immediately with None.
             self._waiting_nested.pop(wait_key, None)
@@ -543,10 +636,23 @@ class ReplicationMechanisms(Process):
             trace = (tr[0], execution.trace_span or tr[1], tr[2] + 1)
         self._egress.issue(info.group_id, op_id, call, trace=trace)
 
-    def _votes_needed(self, info: GroupInfo) -> int:
+    def _votes_needed(self, info: GroupInfo) -> Optional[int]:
+        """Votes a response needs before delivery; None = unservable.
+
+        For voting groups the majority is computed over the *live*
+        replicas.  With zero live replicas there is no population to
+        take a majority over — the old fallback to ``len(placement)``
+        demanded a quorum of dead hosts, a vote that could never
+        complete — so the caller must fail fast instead (None).  Before
+        the first membership install the full placement stands in for
+        the live set (nothing can be delivered yet anyway).
+        """
         if not info.style.needs_voting:
             return 1
-        live = len(info.live_replicas(self.live_hosts)) or len(info.placement)
+        live = (len(info.live_replicas(self.live_hosts))
+                if self.live_hosts else len(info.placement))
+        if live == 0:
+            return None
         return live // 2 + 1
 
     # ==================================================================
@@ -554,6 +660,13 @@ class ReplicationMechanisms(Process):
     # ==================================================================
 
     def _on_response(self, msg: DomainMessage) -> None:
+        # Leader-follower ack: the leader's response, delivered in total
+        # order, retires every follower's withheld copy of the same
+        # operation — whatever group the response is addressed to.
+        unacked = self._lf_unacked.get(msg.source_group)
+        if unacked is not None:
+            unacked.pop(
+                dedup_key(msg.target_group, msg.client_id, msg.op_id), None)
         if msg.target_group == GATEWAY_GROUP:
             return  # handled by the attached gateway via observe_delivered
         if msg._trace_order:
@@ -570,12 +683,17 @@ class ReplicationMechanisms(Process):
             if verdict == DuplicateSuppressor.DUPLICATE:
                 self.stats["responses_suppressed"] += 1
             return
+        self._deliver_nested(wait_key, payload)
+
+    def _deliver_nested(self, wait_key: Tuple, payload: bytes) -> None:
+        """Resume the execution suspended on ``wait_key`` with the
+        filter-approved response payload."""
         waiting = self._waiting_nested.pop(wait_key, None)
         if waiting is None:
             return
         self.stats["responses_delivered"] += 1
-        if msg.source_group == EXTERNAL_GROUP and self._egress is not None:
-            self._egress.complete(msg.target_group, msg.op_id)
+        if wait_key[0] == EXTERNAL_GROUP and self._egress is not None:
+            self._egress.complete(wait_key[1], wait_key[2])
         reply = decode_reply(payload)
         info = self.registry.get(waiting.group_id)
         if info is None:
@@ -604,6 +722,9 @@ class ReplicationMechanisms(Process):
             if verdict == DuplicateSuppressor.DUPLICATE:
                 self.stats["responses_suppressed"] += 1
             return
+        self._deliver_external(wait_key, payload)
+
+    def _deliver_external(self, wait_key: Tuple, payload: bytes) -> None:
         waiter = self._waiting_external.pop(wait_key, None)
         if waiter is None:
             return
@@ -654,10 +775,21 @@ class ReplicationMechanisms(Process):
             self.multicast(message)
             promise.resolve(None)
             return promise
+        votes = self._votes_needed(info)
+        if votes is None:
+            # Fail fast instead of registering a vote no population of
+            # live replicas can ever complete.
+            self._lazy_counter("rm.invoke.unservable").inc()
+            self.tracer.emit(self.scheduler.now, "eternal.unservable",
+                             self.name,
+                             f"invocation of voting group {target_group_id} "
+                             "with zero live replicas")
+            promise.reject(TransientError(
+                f"voting group {target_group_id} has no live replicas"))
+            return promise
         wait_key = (target_group_id, client_uid, op_id)
         self._waiting_external[wait_key] = _ExternalWaiter(promise=promise, op=op)
-        self._response_filter.expect(
-            wait_key, votes_needed=self._votes_needed(info))
+        self._response_filter.expect(wait_key, votes_needed=votes)
         self.multicast(message)
         return promise
 
@@ -681,6 +813,10 @@ class ReplicationMechanisms(Process):
             self._apply_checkpoint(msg)
         elif kind is MsgKind.STATE_UPDATE:
             self._apply_state_update(msg)
+        elif kind is MsgKind.ORDER_RECORD:
+            self._apply_order_record(msg)
+        elif kind is MsgKind.STYLE_SWITCH:
+            self._apply_style_switch(msg)
         elif kind is MsgKind.REPLICA_READY:
             for fn in list(self._replica_ready_listeners):
                 fn(msg.data["group_id"], msg.data["host"], msg.data["version"])
@@ -735,6 +871,11 @@ class ReplicationMechanisms(Process):
         self.replicas.pop(group_id, None)
         self.logs.pop(group_id, None)
         self._invocations_seen.pop(group_id, None)
+        # The primary memory and withheld-response tracking are keyed by
+        # group too; without these pops a removed group's entries lived
+        # forever (the rm.last_primary leak this line fixes).
+        self._last_primary.pop(group_id, None)
+        self._lf_unacked.pop(group_id, None)
 
     def _create_local_replica(self, info: GroupInfo, ready: bool) -> None:
         factory = self.factories.get(info.factory_name)
@@ -791,6 +932,7 @@ class ReplicationMechanisms(Process):
         if host_name == self.host.name:
             self.replicas.pop(group_id, None)
             self.logs.pop(group_id, None)
+            self._lf_unacked.pop(group_id, None)
         self._check_primary_changes()
 
     def _apply_state_transfer(self, msg: DomainMessage) -> None:
@@ -856,6 +998,129 @@ class ReplicationMechanisms(Process):
         log.install_checkpoint(msg.data["state"], msg.data["upto_ts"])
 
     # ==================================================================
+    # Leader-follower ordering and runtime style switching
+    # ==================================================================
+
+    def _apply_order_record(self, msg: DomainMessage) -> None:
+        """Verify the leader's nested-call ordering against our own.
+
+        Followers derived the same child operation id when they executed
+        the parent (total order + deterministic Figure 6 counters); the
+        leader's record makes that a *checked* property.  A mismatch
+        would mean replica divergence — counted, never silently ignored
+        (`rm.style.order.mismatch` is asserted zero by the test suite).
+        """
+        info = self.registry.get(msg.source_group)
+        if info is None or not info.style.is_semi_active:
+            return
+        record = self.replicas.get(msg.source_group)
+        if record is None or not record.ready:
+            return  # joining replica: it never executed the parent
+        if info.primary(self.live_hosts) == self.host.name:
+            return  # the leader checking its own record is vacuous
+        wait_key = (msg.target_group, msg.source_group, msg.op_id)
+        if (wait_key in self._waiting_nested
+                or self._response_filter.was_delivered(wait_key)):
+            self._lazy_counter("rm.style.order.followed").inc()
+        else:
+            self._lazy_counter("rm.style.order.mismatch").inc()
+
+    def _apply_style_switch(self, msg: DomainMessage) -> None:
+        """Apply a runtime replication-style change.
+
+        The switch point is the message's position in the total order,
+        so every processor partitions the group's history identically:
+        operations ordered before it complete under the old engine (a
+        dropped voting requirement is relaxed below, so nothing
+        strands), operations after it run entirely under the new one.
+        Epoch-guarded via the registry, so the redundant copies emitted
+        by replicated managers apply exactly once.
+        """
+        group_id = msg.data["group_id"]
+        new_style = ReplicationStyle(msg.data["style"])
+        epoch = msg.data["epoch"]
+        info = self.registry.get(group_id)
+        if info is None:
+            return
+        old_style = info.style
+        if not self.registry.set_style(group_id, new_style, epoch):
+            return  # duplicate or stale switch: idempotent control message
+        if old_style is new_style:
+            return  # epoch advanced, engine unchanged
+        self.stats["style_switches"] += 1
+        self._lazy_counter("rm.style.switches").inc()
+        if self._span_collector.enabled:
+            self._span_collector.instant(
+                f"style/{group_id}/{epoch}", "rm.style.switch",
+                source=self.name, old=old_style.value, new=new_style.value)
+        self.tracer.emit(
+            self.scheduler.now, "eternal.style_switch", self.name,
+            f"group {group_id}: {old_style.value} -> {new_style.value}",
+            epoch=epoch)
+        info = self.registry.require(group_id)
+        record = self.replicas.get(group_id)
+        # (1) Executing -> passive: seed the group log from the live
+        # servant, so backups log-and-replay from this cut onward.
+        if (old_style.executes_everywhere and new_style.is_passive
+                and record is not None):
+            self._log_for(group_id).adopt_live_state(
+                record.servant.get_state(), ts=msg.timestamp,
+                version=record.version)
+        # (2) Passive -> executing: backups replay their log suffix
+        # (silently — those operations' responses were already served by
+        # the old primary) to reach the primary's state, then the log is
+        # dropped: executing styles keep hot state instead.
+        if old_style.is_passive and new_style.executes_everywhere:
+            if (record is not None
+                    and info.primary(self.live_hosts) != self.host.name):
+                self._catch_up_from_log(info, record, old_style)
+            self.logs.pop(group_id, None)
+        # (3) Voting dropped: in-flight majority expectations can never
+        # fill once only the leader speaks — relax them to a single vote
+        # at the switch point (consistent everywhere: this is a
+        # total-order event) and flush any vote that already suffices.
+        if old_style.needs_voting and not new_style.needs_voting:
+            ready = self._response_filter.reduce_votes(
+                lambda k: k[0] == group_id, 1)
+            for relaxed_key, payload in ready:
+                self._lazy_counter("rm.style.vote_relaxed").inc()
+                if relaxed_key in self._waiting_external:
+                    self._deliver_external(relaxed_key, payload)
+                else:
+                    self._deliver_nested(relaxed_key, payload)
+
+    def _catch_up_from_log(self, info: GroupInfo, record: ReplicaRecord,
+                           old_style: ReplicationStyle) -> None:
+        """Bring a passive backup to the primary's state for a switch to
+        an executing style: restore the latest covering state, then
+        silently re-execute the logged suffix.  Replayed nested calls
+        are multicast even under leader-follower (``Execution.replay``)
+        because the responses they need live in their targets' dedup
+        caches and must be solicited; replayed *terminal* responses are
+        suppressed (``Execution.silent``) — the old primary already
+        served them."""
+        log = self.logs.get(info.group_id)
+        if log is None:
+            return
+        if log.checkpoint is not None:
+            record.servant.set_state(log.checkpoint.state)
+        replay = log.replay_after(log.latest_covered_ts())
+        self.tracer.emit(
+            self.scheduler.now, "eternal.style_catchup", self.name,
+            f"group {info.group_id}: replaying {len(replay)} ops to leave "
+            f"{old_style.value}")
+        seen = self._invocations_seen.setdefault(info.group_id, {})
+        for msg in replay:
+            self._lazy_counter("rm.style.catchup_replays").inc()
+            request = decode_request(msg.iiop)
+            key = dedup_key(msg.source_group, msg.client_id, msg.op_id)
+            seen[key] = _InvocationRecord(
+                status="executing",
+                response_expected=request.response_expected)
+            self._execute(msg, record, info, request, key,
+                          silent=True, replay=True)
+
+    # ==================================================================
     # Membership changes: failover and recovery
     # ==================================================================
 
@@ -896,22 +1161,25 @@ class ReplicationMechanisms(Process):
                              self.name, "replicas pruned",
                              removed=[f"{g}@{h}" for g, h in removed])
         self._check_primary_changes()
+        self._fail_unservable_waits()
         for fn in list(self._membership_listeners):
             fn(self.live_hosts)
         if self._egress is not None:
             self._egress.handle_membership(self.live_hosts)
 
     def _check_primary_changes(self) -> None:
-        """Detect passive-group primaries shifting to this host; recover."""
+        """Detect primaries/leaders shifting to this host; take over."""
         for info in self.registry.all_groups():
             new_primary = info.primary(self.live_hosts)
             old_primary = self._last_primary.get(info.group_id)
             self._last_primary[info.group_id] = new_primary
-            if (info.style.is_passive
-                    and new_primary == self.host.name
+            if (new_primary == self.host.name
                     and old_primary != self.host.name
                     and info.group_id in self.replicas):
-                self._recover_as_primary(info)
+                if info.style.is_passive:
+                    self._recover_as_primary(info)
+                elif info.style.is_semi_active:
+                    self._promote_leader_follower(info)
 
     def _recover_as_primary(self, info: GroupInfo) -> None:
         """Cold/warm passive failover: restore state, replay the log."""
@@ -938,6 +1206,107 @@ class ReplicationMechanisms(Process):
                 status="executing",
                 response_expected=request.response_expected)
             self._execute(msg, record, info, request, key)
+
+    def _promote_leader_follower(self, info: GroupInfo) -> None:
+        """Leader-follower failover: the new leader's state is already
+        hot, so promotion is re-transmission, not recovery.  Resend the
+        cached replies the dead leader never got onto the ring (the
+        withheld-response ledger), and re-issue still-suspended nested
+        invocations — the leader may have crashed before multicasting
+        them.  Over-sending is safe (targets and receivers all
+        deduplicate); under-sending would lose operations that were
+        ordered but never answered."""
+        record = self.replicas.get(info.group_id)
+        if record is None:
+            return
+        self._m_failovers.inc()
+        self._lazy_counter("rm.style.promotions").inc()
+        seen = self._invocations_seen.get(info.group_id, {})
+        resent = 0
+        for key, original in list(self._lf_unacked.get(info.group_id,
+                                                       {}).items()):
+            cached = seen.get(key)
+            if (cached is not None and cached.status == "done"
+                    and cached.response_iiop is not None):
+                self.stats["responses_resent"] += 1
+                self._respond(original, cached.response_iiop)
+                resent += 1
+        # The resends retire their own unacked entries when they come
+        # back around in total order (_on_response pops them).
+        reissued = 0
+        for wait_key, waiting in list(self._waiting_nested.items()):
+            if waiting.group_id != info.group_id or waiting.message is None:
+                continue
+            self.multicast(waiting.message)
+            if not waiting.nested_op.oneway:
+                self._lazy_counter("rm.style.order.records").inc()
+                self.multicast(DomainMessage(
+                    kind=MsgKind.ORDER_RECORD,
+                    source_group=info.group_id,
+                    target_group=wait_key[0],
+                    op_id=waiting.op_id,
+                    data={"op": waiting.nested_op.name}))
+            reissued += 1
+        self.tracer.emit(self.scheduler.now, "eternal.failover", self.name,
+                         f"promoting to leader of group {info.group_id}",
+                         style=info.style.value, resent=resent,
+                         reissued=reissued)
+
+    def _fail_unservable_waits(self) -> None:
+        """Re-evaluate voting expectations after a membership change.
+
+        A vote registered against the pre-crash live set can demand more
+        responders than will ever speak again.  Per voting target: zero
+        live replicas fails every wait fast (TransientError — the same
+        fail-fast _votes_needed applies to new invocations); a
+        shrunken-but-alive group has its quorum relaxed to the new
+        majority, delivering immediately where already-counted votes
+        suffice.  Deterministic across processors: every input (registry,
+        live set, filter state) evolves in total order.
+        """
+        needed: Dict[int, Optional[int]] = {}
+        for wait_key in (list(self._waiting_nested)
+                         + list(self._waiting_external)):
+            target_gid = wait_key[0]
+            if target_gid == EXTERNAL_GROUP or target_gid in needed:
+                continue
+            t_info = self.registry.get(target_gid)
+            if t_info is None or not t_info.style.needs_voting:
+                continue
+            needed[target_gid] = self._votes_needed(t_info)
+        for target_gid, votes in needed.items():
+            if votes is None:
+                err = TransientError(
+                    f"voting group {target_gid} lost all replicas")
+                for wait_key in [k for k in self._waiting_external
+                                 if k[0] == target_gid]:
+                    self._lazy_counter("rm.invoke.unservable").inc()
+                    self._response_filter.cancel(wait_key)
+                    self._waiting_external.pop(wait_key).promise.reject(err)
+                for wait_key in [k for k in self._waiting_nested
+                                 if k[0] == target_gid]:
+                    self._lazy_counter("rm.invoke.unservable").inc()
+                    self._response_filter.cancel(wait_key)
+                    waiting = self._waiting_nested.pop(wait_key)
+                    parent_info = self.registry.get(waiting.group_id)
+                    if parent_info is None:
+                        continue
+                    outcome = waiting.execution.resume_error(err)
+                    parent_key = dedup_key(waiting.original.source_group,
+                                           waiting.original.client_id,
+                                           waiting.original.op_id)
+                    self._handle_outcome(waiting.execution, outcome,
+                                         waiting.original, parent_info,
+                                         parent_key)
+            else:
+                ready = self._response_filter.reduce_votes(
+                    lambda k, g=target_gid: k[0] == g, votes)
+                for relaxed_key, payload in ready:
+                    self._lazy_counter("rm.style.vote_relaxed").inc()
+                    if relaxed_key in self._waiting_external:
+                        self._deliver_external(relaxed_key, payload)
+                    else:
+                        self._deliver_nested(relaxed_key, payload)
 
 
 def _call_factory(factory: Callable[..., Servant],

@@ -3,7 +3,9 @@
 The paper (section 2) lists the fault tolerance properties a user can
 request from the Eternal Replication Manager, including the replication
 style: stateless, cold passive, warm passive, active, and active with
-voting.  The semantics implemented by the Replication Mechanisms:
+voting.  The LLFT line of work adds a sixth, semi-active style —
+leader-follower — which this reproduction supports as a third engine
+family.  The semantics implemented by the Replication Mechanisms:
 
 ============== =================================================================
 STATELESS       Every replica executes every invocation; no state is
@@ -24,11 +26,45 @@ ACTIVE_WITH_VOTING
                 As ACTIVE, but the receiver delivers a response only once a
                 majority of the group's replicas returned byte-identical
                 responses, masking value faults of a minority.
+LEADER_FOLLOWER
+                Semi-active: every replica executes every invocation (hot
+                state, instant failover, no periodic state transfer), but
+                only the leader — the first live host of the placement —
+                multicasts responses and ordering records for its
+                non-deterministic choices (nested-call interleaving);
+                followers replay the records to stay byte-identical while
+                staying silent.  One response per invocation on the ring
+                instead of N, and no voting wait.
 ============== =================================================================
+
+Because ``is_active`` historically conflated "executes everywhere" with
+"participates in voting/response logic", the predicate is split into
+orthogonal properties.  The full matrix:
+
+=================== ========= ============ =========== ======== ==========
+style               executes_ responds_    is_semi_    needs_   has_state
+                    everywhere from_all    active      voting
+=================== ========= ============ =========== ======== ==========
+STATELESS           yes       yes          no          no       no
+COLD_PASSIVE        no        no           no          no       yes
+WARM_PASSIVE        no        no           no          no       yes
+ACTIVE              yes       yes          no          no       yes
+ACTIVE_WITH_VOTING  yes       yes          no          yes      yes
+LEADER_FOLLOWER     yes       no           yes         no       yes
+=================== ========= ============ =========== ======== ==========
+
+* ``executes_everywhere`` — every live replica runs the servant for
+  every delivered invocation (the ``i_execute`` decision).
+* ``responds_from_all`` — every executing replica multicasts its
+  response; the receiver deduplicates (and, for voting, counts).
+* ``is_semi_active`` — executes everywhere but only the leader speaks;
+  followers withhold responses and follow ordering records.
+* ``is_passive`` — only the primary executes; backups log.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 
 
@@ -38,6 +74,7 @@ class ReplicationStyle(enum.Enum):
     WARM_PASSIVE = "warm_passive"
     ACTIVE = "active"
     ACTIVE_WITH_VOTING = "active_with_voting"
+    LEADER_FOLLOWER = "leader_follower"
 
     @property
     def is_passive(self) -> bool:
@@ -45,10 +82,24 @@ class ReplicationStyle(enum.Enum):
                         ReplicationStyle.WARM_PASSIVE)
 
     @property
-    def is_active(self) -> bool:
+    def executes_everywhere(self) -> bool:
+        """Every live replica executes every delivered invocation."""
+        return self in (ReplicationStyle.ACTIVE,
+                        ReplicationStyle.ACTIVE_WITH_VOTING,
+                        ReplicationStyle.STATELESS,
+                        ReplicationStyle.LEADER_FOLLOWER)
+
+    @property
+    def responds_from_all(self) -> bool:
+        """Every executing replica multicasts its response."""
         return self in (ReplicationStyle.ACTIVE,
                         ReplicationStyle.ACTIVE_WITH_VOTING,
                         ReplicationStyle.STATELESS)
+
+    @property
+    def is_semi_active(self) -> bool:
+        """Executes everywhere, but only the leader responds/orders."""
+        return self is ReplicationStyle.LEADER_FOLLOWER
 
     @property
     def needs_voting(self) -> bool:
@@ -57,3 +108,30 @@ class ReplicationStyle(enum.Enum):
     @property
     def has_state(self) -> bool:
         return self is not ReplicationStyle.STATELESS
+
+
+@dataclasses.dataclass(frozen=True)
+class StylePolicy:
+    """Thresholds driving runtime style adaptation (`StyleManager`).
+
+    A group whose base style is ACTIVE or ACTIVE_WITH_VOTING is demoted
+    to ``demote_to`` when the domain looks overloaded — the gateways
+    shed more than ``demote_shed_rate`` requests per second over a tick,
+    or p50 invocation latency exceeds ``demote_latency_s`` — and
+    promoted back to its base style when faults reappear (more than
+    ``promote_fault_rate`` detector faults / failovers per second).
+    ``min_dwell_s`` rate-limits flapping: after any observed style
+    change the manager holds off for at least that long.
+    """
+
+    demote_to: ReplicationStyle = ReplicationStyle.LEADER_FOLLOWER
+    demote_shed_rate: float = 1.0
+    demote_latency_s: float = 0.25
+    promote_fault_rate: float = 0.5
+    min_dwell_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not self.demote_to.has_state:
+            raise ValueError("demote_to must be a stateful style")
+        if self.min_dwell_s < 0:
+            raise ValueError("min_dwell_s must be >= 0")

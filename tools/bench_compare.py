@@ -11,8 +11,9 @@ The script
 
 * runs ``benchmarks/bench_totem_ring.py``,
   ``benchmarks/bench_gateway_scaling.py``,
-  ``benchmarks/bench_scheduler_throughput.py`` and
-  ``benchmarks/bench_gateway_farm.py`` under pytest-benchmark,
+  ``benchmarks/bench_scheduler_throughput.py``,
+  ``benchmarks/bench_gateway_farm.py`` and
+  ``benchmarks/bench_replication_styles.py`` under pytest-benchmark,
 * writes the dated raw results plus the comparison to
   ``BENCH_<YYYY-MM-DD>.json`` in the repository root,
 * reports the headline speedup of each benchmark against the recorded
@@ -55,9 +56,12 @@ BENCH_FILES = [
     "benchmarks/bench_gateway_scaling.py",
     "benchmarks/bench_scheduler_throughput.py",
     "benchmarks/bench_gateway_farm.py",
+    "benchmarks/bench_replication_styles.py",
 ]
 FARM_BENCH_PREFIX = "test_farm_"
 FARM_CURVE_PATH = "FARM_CURVE.json"
+STYLE_BENCH_PREFIX = "test_styles_"
+STYLE_COMPARISON_PATH = "STYLE_COMPARISON.json"
 # extra_info keys that legitimately vary with implementation details
 # (event counts), depend on wall-clock (throughput rates), or hold
 # nested blobs rather than simulated scalars.
@@ -235,6 +239,64 @@ def write_farm_summary(fresh: dict) -> None:
     print(f"wrote {curve_path}")
 
 
+def write_styles_summary(fresh: dict) -> None:
+    """Publish the replication-style comparison (E9/E17).
+
+    Renders the per-style trade-off table from
+    ``test_styles_comparison_table`` (broadcasts and executions per
+    operation, failover latency, replayed operations) plus the E17
+    leader-follower vs voting latency headline on stdout and in the CI
+    job summary, and writes every ``test_styles_*`` bench's rows to
+    ``STYLE_COMPARISON.json`` for upload as an advisory artifact.
+    """
+    styles = {b["name"]: b.get("extra_info", {})
+              for b in fresh["benchmarks"]
+              if b["name"].startswith(STYLE_BENCH_PREFIX)}
+    if not styles:
+        return
+    table_info = styles.get("test_styles_comparison_table", {})
+    style_rows = {name: row for name, row in table_info.items()
+                  if isinstance(row, dict) and "broadcasts_per_op" in row}
+    lines = []
+    if style_rows:
+        lines.append("| style | broadcasts/op | executions/op "
+                     "| failover (s) | replayed ops |")
+        lines.append("|---|---:|---:|---:|---:|")
+        for name in sorted(style_rows):
+            row = style_rows[name]
+            lines.append(
+                f"| {name} | {row.get('broadcasts_per_op', '?')} "
+                f"| {row.get('executions_per_op', '?')} "
+                f"| {row.get('failover_latency_s', '?')} "
+                f"| {row.get('replayed_ops', '?')} |")
+    latency = styles.get("test_styles_lf_vs_voting_latency", {})
+    headline = None
+    if "lf_p50_latency_s" in latency:
+        headline = (
+            f"leader-follower p50 {latency['lf_p50_latency_s']}s vs "
+            f"active-with-voting {latency['voting_p50_latency_s']}s "
+            f"({latency.get('p50_speedup', '?')}x)")
+    if lines or headline:
+        print("\nreplication-style comparison:")
+        for line in lines:
+            print(f"  {line}")
+        if headline:
+            print(f"  {headline}")
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as f:
+            f.write("### Replication-style comparison\n\n")
+            for line in lines:
+                f.write(f"{line}\n")
+            if headline:
+                f.write(f"\n{headline}\n")
+    comparison_path = os.path.join(REPO_ROOT, STYLE_COMPARISON_PATH)
+    with open(comparison_path, "w") as f:
+        json.dump({"benchmarks": styles}, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {comparison_path}")
+
+
 def trace_overhead(rounds: int) -> int:
     """Measure causal-tracing overhead on the gateway-scaling workload.
 
@@ -338,6 +400,7 @@ def main() -> int:
 
     write_job_summary(fresh)
     write_farm_summary(fresh)
+    write_styles_summary(fresh)
 
     blocking = report["failures"]
     advisory = []
