@@ -21,12 +21,17 @@ from common import build_domain, counter_group, external_stub
 TOTAL_REQUESTS = 24
 
 
-def run_clients(num_clients, trace_spans=False):
+def run_clients(num_clients, trace_spans=False, series=False):
     """Run the fixed workload; ``trace_spans`` turns on causal tracing
     (used by ``tools/bench_compare.py --trace-overhead`` to measure the
-    instrumentation cost against the default untraced run)."""
+    instrumentation cost against the default untraced run) and
+    ``series`` arms the time-series registry the same way for
+    ``--series-overhead``.  Neither may change the returned simulated
+    row; the enabled series snapshot is exposed out-of-band as
+    ``run_clients.last_series`` so the overhead gate can report per-group
+    latency aggregates without perturbing the comparison."""
     world = World(seed=1000 + num_clients, trace=False,
-                  trace_spans=trace_spans)
+                  trace_spans=trace_spans, series=series)
     domain = build_domain(world, gateways=1)
     group = counter_group(domain)
     stubs = []
@@ -53,6 +58,8 @@ def run_clients(num_clients, trace_spans=False):
     elapsed = world.now - t0
     world.run(until=world.now + 0.5)
     gateway = domain.gateways[0]
+    run_clients.last_series = (world.series.snapshot(world.now)
+                               if series else None)
     results = sorted(p.result() for p in promises)
     return {
         "clients": num_clients,

@@ -11,7 +11,11 @@ the resource-leak audit at quiescence and fails the run on any leak;
 ``--trace`` enables causal tracing and prints the span tree of every
 invocation; ``--trace-json`` prints the Chrome ``trace_event`` JSON
 instead (load it in Perfetto / ``about:tracing``, or feed it to
-``tools/trace_report.py`` for a critical-path breakdown).
+``tools/trace_report.py`` for a critical-path breakdown);
+``--series`` arms the time-series registry and prints its canonical
+JSON snapshot (per-group/gateway windowed aggregates, see
+docs/OBSERVABILITY.md); ``--flight-dump`` arms the flight recorder
+and prints its canonical JSON black-box dump after the run.
 
 Two analysis modes skip the demo entirely: ``--lint`` runs the
 ``reprolint`` determinism linter over ``src/`` (same bar as
@@ -48,6 +52,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--trace-json", action="store_true",
                         help="record causal traces and print Chrome "
                              "trace_event JSON (Perfetto-loadable)")
+    parser.add_argument("--series", action="store_true",
+                        help="arm the time-series registry and print its "
+                             "canonical JSON snapshot after the run")
+    parser.add_argument("--flight-dump", action="store_true",
+                        help="arm the flight recorder and print its "
+                             "canonical JSON dump after the run")
     parser.add_argument("--seed", type=int, default=2026,
                         help="world seed (default: 2026)")
     parser.add_argument("--lint", action="store_true",
@@ -63,7 +73,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.race_sweep:
         return _race_sweep()
     tracing = args.trace or args.trace_json
-    world = World(seed=args.seed, trace_spans=tracing)
+    world = World(seed=args.seed, trace_spans=tracing, series=args.series,
+                  flight=args.flight_dump)
     domain = FaultToleranceDomain(world, "demo", num_hosts=3)
     domain.add_gateway(port=2809)
     domain.add_gateway(port=2809)
@@ -110,6 +121,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(world.trace_tree())
     if args.trace_json:
         print(world.trace_chrome_json())
+    if args.series:
+        print(world.series_json())
+    if args.flight_dump:
+        print(world.flight_json())
     return 0 if ok else 1
 
 

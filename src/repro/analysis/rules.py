@@ -409,6 +409,12 @@ class SimDisciplineRule(LintRule):
 _METRIC_FACTORIES = frozenset({"counter", "gauge", "histogram", "timer",
                                "span"})
 _SPAN_EMITTERS = frozenset({"start", "instant"})
+# Time-series emitters (SeriesRegistry.observe/.sample/.series) and the
+# flight recorder (FlightRecorder.record): the first argument is the
+# series name / event kind.  Only dotted string literals are checked —
+# Histogram.observe(0.25) and other same-named methods pass floats or
+# undotted strings and fall through.
+_SERIES_EMITTERS = frozenset({"observe", "sample", "series", "record"})
 
 
 class CatalogueRule(LintRule):
@@ -419,9 +425,12 @@ class CatalogueRule(LintRule):
     against; an undocumented series is invisible operational surface.
     Checked emitters: ``MetricsRegistry.counter/gauge/histogram/
     timer/span`` first arguments, ``AuditScope.register(gauge=...)``
-    names, and ``TraceCollector.start/instant`` span names.  Dynamic
-    (non-literal) names are out of scope — they must be catalogued as
-    a backticked ``family.*`` wildcard instead.
+    names, ``TraceCollector.start/instant`` span names,
+    ``SeriesRegistry.observe/sample/series`` time-series names, and
+    ``FlightRecorder.record`` event kinds (both only when the literal
+    is dotted, which filters out the same-named histogram/race-recorder
+    methods).  Dynamic (non-literal) names are out of scope — they must
+    be catalogued as a backticked ``family.*`` wildcard instead.
     """
 
     code = "OBS001"
@@ -451,6 +460,12 @@ class CatalogueRule(LintRule):
                         and isinstance(second.value, str)
                         and "." in second.value):
                     names.append((second.value, second))
+            elif attr in _SERIES_EMITTERS and node.args:
+                first = node.args[0]
+                if (isinstance(first, ast.Constant)
+                        and isinstance(first.value, str)
+                        and "." in first.value):
+                    names.append((first.value, first))
             if attr in ("register",):
                 for keyword in node.keywords:
                     if (keyword.arg == "gauge"

@@ -196,6 +196,10 @@ class Gateway(Process):
         # received == suppressed + unexpected + vote_pending
         #             + delivered + unroutable.
         m = self.metrics
+        # Per-group / per-gateway time series (repro.obs.series); the
+        # registry is disabled by default, making every hook below one
+        # attribute load plus one boolean test.
+        self._series = host.network.series
         self._m_req_latency = m.histogram("gateway.req.latency", unit="s")
         self._m_req_received = m.counter("gateway.req.received")
         self._m_req_forwarded = m.counter("gateway.req.forwarded")
@@ -494,6 +498,10 @@ class Gateway(Process):
                     return
                 self.stats["requests_shed"] += 1
                 self._m_adm_shed.inc()
+                sr = self._series
+                if sr.enabled:
+                    sr.observe("series.gateway.group.shed", 1.0,
+                               group=target_group)
                 if container:
                     spans.end(container, outcome="shed")
                 if connection.open:
@@ -870,8 +878,14 @@ class Gateway(Process):
             if record is not None and record.received_at is not None:
                 # Socket receipt to socket write: the latency an
                 # unreplicated client observes at this gateway.
-                self._m_req_latency.observe(
-                    self.scheduler.now - record.received_at)
+                elapsed = self.scheduler.now - record.received_at
+                self._m_req_latency.observe(elapsed)
+                sr = self._series
+                if sr.enabled:
+                    sr.observe("series.gateway.group.latency", elapsed,
+                               group=record.target_group)
+                    sr.observe("series.gateway.latency", elapsed,
+                               gateway=self.name)
             if tr is not None:
                 # The egress instant and the container close share this
                 # event's clock with the latency observation above, so
@@ -989,8 +1003,14 @@ class Gateway(Process):
         if connection is not None and connection.open:
             connection.send(payload)
             if record is not None and record.received_at is not None:
-                self._m_req_latency.observe(
-                    self.scheduler.now - record.received_at)
+                elapsed = self.scheduler.now - record.received_at
+                self._m_req_latency.observe(elapsed)
+                sr = self._series
+                if sr.enabled:
+                    sr.observe("series.gateway.group.latency", elapsed,
+                               group=record.target_group)
+                    sr.observe("series.gateway.latency", elapsed,
+                               gateway=self.name)
             if record is not None and record.trace_span:
                 spans = self._span_collector
                 spans.instant(record.trace_id, "gateway.egress",

@@ -275,6 +275,18 @@ class StyleManager:
     applies the redundant copies exactly once.  ``min_dwell_s``
     (restarted by *any* observed epoch change, including operator
     switches) prevents flapping.
+
+    **Signal sources.**  When the world's time-series registry is armed
+    (``World(series=True)``), overload is judged *per group* from the
+    windowed ``series.gateway.group.shed`` / ``.latency`` series the
+    gateways feed — two groups with very different op costs sharing a
+    domain are demoted independently instead of being dragged down by
+    each other's latency.  Without series the manager falls back to the
+    original global scalars (total shed delta, whole-domain latency
+    p50).  Reads of the shared windowed aggregators at identical
+    instants return identical values on every host, so the leaderless
+    agreement argument is unchanged.  Fault pressure (promotion) stays
+    global either way: processor deaths are a domain-level signal.
     """
 
     def __init__(self, rm: "ReplicationMechanisms",
@@ -316,10 +328,31 @@ class StyleManager:
                if latency is not None and latency.count else None)
         return shed_rate, fault_rate, p50
 
+    def _group_signals(self, gid: int, now: float):
+        """Windowed per-group (shed_rate, p50) from the series registry.
+
+        A group with no recent samples reads as healthy (rate 0, p50
+        None) — sparse traffic is the opposite of overload.  p50 is
+        only trusted once the window holds ``min_series_samples``
+        observations, so one straggler cannot demote a quiet group.
+        """
+        sr = self.rm.series
+        shed_rate = 0.0
+        shed = sr.get("series.gateway.group.shed", group=gid)
+        if shed is not None:
+            shed_rate = shed.rate(now)
+        p50 = None
+        latency = sr.get("series.gateway.group.latency", group=gid)
+        if (latency is not None
+                and latency.window_count(now) >= self.policy.min_series_samples):
+            p50 = latency.quantile(0.5, now)
+        return shed_rate, p50
+
     def _evaluate(self) -> None:
         shed_rate, fault_rate, p50 = self._rates()
         now = self.rm.scheduler.now
         policy = self.policy
+        per_group = self.rm.series.enabled
         for info in self.rm.registry.all_groups():
             gid = info.group_id
             if self.groups is not None and gid not in self.groups:
@@ -333,22 +366,36 @@ class StyleManager:
                 self._last_change[gid] = now
             if now - self._last_change.get(gid, 0.0) < policy.min_dwell_s:
                 continue
+            if per_group:
+                group_shed_rate, group_p50 = self._group_signals(gid, now)
+            else:
+                group_shed_rate, group_p50 = shed_rate, p50
             overloaded = (
-                shed_rate >= policy.demote_shed_rate
-                or (p50 is not None and p50 >= policy.demote_latency_s))
+                group_shed_rate >= policy.demote_shed_rate
+                or (group_p50 is not None
+                    and group_p50 >= policy.demote_latency_s))
             if (info.style in (ReplicationStyle.ACTIVE,
                                ReplicationStyle.ACTIVE_WITH_VOTING)
                     and info.style is not policy.demote_to and overloaded):
                 self._baseline.setdefault(gid, info.style)
                 self.stats["demotions_requested"] += 1
-                self._emit(info, policy.demote_to)
+                self._emit(info, policy.demote_to, reason="overload",
+                           shed_rate=group_shed_rate, p50=group_p50)
             elif (info.style is policy.demote_to
                     and gid in self._baseline
                     and fault_rate >= policy.promote_fault_rate):
                 self.stats["promotions_requested"] += 1
-                self._emit(info, self._baseline[gid])
+                self._emit(info, self._baseline[gid], reason="faults",
+                           fault_rate=fault_rate)
 
-    def _emit(self, info: GroupInfo, style: ReplicationStyle) -> None:
+    def _emit(self, info: GroupInfo, style: ReplicationStyle,
+              reason: str = "", **signals) -> None:
+        fl = self.rm.flight
+        if fl.enabled:
+            fl.record("flight.style", group=info.group_id,
+                      style=style.value, epoch=info.style_epoch + 1,
+                      reason=reason,
+                      **{k: v for k, v in sorted(signals.items())})
         self.rm.multicast(DomainMessage(
             kind=MsgKind.STYLE_SWITCH, source_group=0, target_group=0,
             data={"group_id": info.group_id, "style": style.value,

@@ -122,6 +122,13 @@ class StylePolicy:
     ``promote_fault_rate`` detector faults / failovers per second).
     ``min_dwell_s`` rate-limits flapping: after any observed style
     change the manager holds off for at least that long.
+
+    With the time-series registry armed (``World(series=True)``) the
+    shed-rate and latency thresholds are applied to each group's own
+    windowed ``series.gateway.group.*`` series instead of the global
+    scalars; ``min_series_samples`` is how many in-window latency
+    observations a group must have before its p50 is trusted (fewer
+    reads as healthy — sparse traffic is not overload).
     """
 
     demote_to: ReplicationStyle = ReplicationStyle.LEADER_FOLLOWER
@@ -129,9 +136,12 @@ class StylePolicy:
     demote_latency_s: float = 0.25
     promote_fault_rate: float = 0.5
     min_dwell_s: float = 2.0
+    min_series_samples: int = 4
 
     def __post_init__(self) -> None:
         if not self.demote_to.has_state:
             raise ValueError("demote_to must be a stateful style")
         if self.min_dwell_s < 0:
             raise ValueError("min_dwell_s must be >= 0")
+        if self.min_series_samples < 1:
+            raise ValueError("min_series_samples must be >= 1")

@@ -8,10 +8,14 @@ docs/OBSERVABILITY.md for the metric catalogue and clock semantics.
 """
 
 from .audit import AuditEntry, AuditReport, AuditRow, AuditScope
-from .export import parse_json, render_prometheus, render_text, to_json
+from .export import (canonical_json, parse_json, render_prometheus,
+                     render_text, to_json)
+from .flight import FlightRecorder
 from .hostclock import (override_wall_clock, reset_wall_clock,
                         set_wall_clock, wall_clock)
 from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry, Span
+from .series import (Ewma, QuantileSketch, RingBuffer, Series, SeriesRegistry,
+                     SlidingRate)
 from .tracing import TraceCollector, TraceSpan
 
 __all__ = [
@@ -20,13 +24,21 @@ __all__ = [
     "AuditRow",
     "AuditScope",
     "Counter",
+    "Ewma",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Metric",
     "MetricsRegistry",
+    "QuantileSketch",
+    "RingBuffer",
+    "Series",
+    "SeriesRegistry",
+    "SlidingRate",
     "Span",
     "TraceCollector",
     "TraceSpan",
+    "canonical_json",
     "override_wall_clock",
     "parse_json",
     "render_prometheus",

@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 from bisect import bisect_right
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import ConfigurationError
 from .hostclock import wall_clock as _host_wall_clock
@@ -205,6 +205,23 @@ class Histogram(Metric):
     @property
     def mean(self) -> Optional[float]:
         return self.sum / self.count if self.count else None
+
+    def cumulative_buckets(self) -> List[Tuple[Optional[float], int]]:
+        """Cumulative ``(upper_bound, count)`` pairs, Prometheus-style.
+
+        Only occupied buckets are materialised (the geometry is sparse);
+        the final pair's bound is None, meaning ``+Inf``.  Empty
+        histograms return an empty list."""
+        pairs: List[Tuple[Optional[float], int]] = []
+        cumulative = 0
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            bound = (self._BOUNDS[index] if index < len(self._BOUNDS)
+                     else None)
+            pairs.append((bound, cumulative))
+        if pairs and pairs[-1][0] is not None:
+            pairs.append((None, cumulative))
+        return pairs
 
     def snapshot(self) -> Dict[str, Any]:
         return {

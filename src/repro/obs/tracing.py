@@ -41,9 +41,12 @@ from __future__ import annotations
 import itertools
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
 
 from .metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .flight import FlightRecorder
 
 
 @dataclass
@@ -74,10 +77,14 @@ class TraceCollector:
 
     def __init__(self, enabled: bool = False,
                  clock: Optional[Callable[[], float]] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 flight: Optional["FlightRecorder"] = None) -> None:
         self.enabled = enabled
         self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
         self._metrics = metrics
+        # Optional flight recorder: span closes are high-signal events
+        # for the black box (purely passive; see repro.obs.flight).
+        self._flight = flight
         self.spans: List[TraceSpan] = []
         self._by_id: Dict[int, TraceSpan] = {}
         self._ids = itertools.count(1)
@@ -146,6 +153,10 @@ class TraceCollector:
             span.attrs.update(attrs)
         if self._m_closed is not None:
             self._m_closed.inc()
+        flight = self._flight
+        if flight is not None and flight.enabled:
+            flight.record("flight.span", trace=span.trace_id, name=span.name,
+                          source=span.source, dur=now - span.start)
         self._extend_ancestors(span, now)
 
     def _extend_ancestors(self, span: TraceSpan, now: float) -> None:

@@ -9,24 +9,32 @@ reproduce an exact interleaving.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set, Tuple
+from typing import Iterable, List, Optional, Set, Tuple, TYPE_CHECKING
 
 from .network import Network
 from .scheduler import Scheduler, Timer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.flight import FlightRecorder
 
 
 class FaultInjector:
     """Schedules host crashes/recoveries and network partitions."""
 
-    def __init__(self, scheduler: Scheduler, network: Network) -> None:
+    def __init__(self, scheduler: Scheduler, network: Network,
+                 flight: Optional["FlightRecorder"] = None) -> None:
         self.scheduler = scheduler
         self.network = network
         self.injected: List[Tuple[float, str, str]] = []
         self._metrics = network.metrics
+        self.flight = flight
 
     def _record(self, action: str, target: str) -> None:
         self.injected.append((self.scheduler.now, action, target))
         self._metrics.counter(f"fault.injected.{action}").inc()
+        flight = self.flight
+        if flight is not None and flight.enabled:
+            flight.record("flight.fault", action=action, target=target)
 
     def crash_host(self, host_name: str, at: float) -> Timer:
         """Fail-stop ``host_name`` at absolute simulated time ``at``."""

@@ -136,6 +136,16 @@ class Process:
         return self.host.network.spans
 
     @property
+    def series(self):
+        """The world-shared :class:`~repro.obs.SeriesRegistry`."""
+        return self.host.network.series
+
+    @property
+    def flight(self):
+        """The world-shared :class:`~repro.obs.FlightRecorder`."""
+        return self.host.network.flight
+
+    @property
     def alive(self) -> bool:
         """True when the process runs on a live host and was started."""
         return self.running and self.host.alive

@@ -18,7 +18,8 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
-from ..obs import AuditScope, MetricsRegistry, TraceCollector
+from ..obs import (AuditScope, FlightRecorder, MetricsRegistry,
+                   SeriesRegistry, TraceCollector)
 from .host import Host
 from .scheduler import Scheduler
 from .trace import Tracer
@@ -86,6 +87,8 @@ class Network:
         metrics: Optional[MetricsRegistry] = None,
         audit: Optional[AuditScope] = None,
         spans: Optional[TraceCollector] = None,
+        series: Optional[SeriesRegistry] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.scheduler = scheduler
         self.latency_model = latency_model or LatencyModel()
@@ -101,6 +104,13 @@ class Network:
         # every Process reaches it through its ``spans`` property.
         self.spans = spans if spans is not None else TraceCollector(
             enabled=False, clock=lambda: scheduler.now)
+        # The world-owned time-series registry and flight recorder,
+        # both disabled by default (``series``/``flight`` properties on
+        # Process); disabled they cost one boolean test at each hook.
+        self.series = series if series is not None else SeriesRegistry(
+            clock=lambda: scheduler.now)
+        self.flight = flight if flight is not None else FlightRecorder(
+            clock=lambda: scheduler.now)
         self.hosts: Dict[str, Host] = {}
         self._partitions: List[Tuple[Set[str], Set[str]]] = []
         self._crash_handlers: List[Callable[[Host], None]] = []

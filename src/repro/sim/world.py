@@ -15,8 +15,8 @@ import random
 from typing import Any, Iterable, Optional, Union
 
 from ..errors import SimulationError
-from ..obs import (AuditReport, AuditScope, MetricsRegistry, TraceCollector,
-                   render_text, to_json)
+from ..obs import (AuditReport, AuditScope, FlightRecorder, MetricsRegistry,
+                   SeriesRegistry, TraceCollector, render_text, to_json)
 from .faults import FaultInjector
 from .host import Host
 from .network import LatencyModel, Network
@@ -105,6 +105,12 @@ class World:
         trace_spans: bool = False,
         trace_max_records: Optional[int] = None,
         scheduler: Optional[SchedulerLike] = None,
+        series: bool = False,
+        series_window: float = 1.0,
+        series_capacity: int = 240,
+        series_sample_interval: float = 0.25,
+        flight: bool = False,
+        flight_capacity: int = 256,
     ) -> None:
         # An injected scheduler (e.g. the race detector's cohort-
         # permuting subclass) must be fresh: it becomes this world's
@@ -125,16 +131,35 @@ class World:
         # traced build is byte-identical — metrics, goldens, wire bytes
         # — to one without the subsystem; ``trace_spans=True`` records
         # per-invocation span trees on the simulated clock.
+        # Flight recorder (repro.obs.flight): a bounded ring of recent
+        # high-signal events.  Recording is purely passive (no scheduler
+        # events, no metrics), so arming it never perturbs a run.
+        self.flight = FlightRecorder(clock=lambda: self.scheduler.now,
+                                     enabled=flight,
+                                     capacity=flight_capacity)
+        # Time-series layer (repro.obs.series): disabled by default so
+        # the simulated event stream and metric key set stay
+        # byte-identical to a build without it; ``series=True`` arms
+        # event-driven per-group/per-gateway series (sampled sources
+        # stay opt-in via ``world.series.sample`` because the periodic
+        # sampler does add scheduler events).
+        self.series = SeriesRegistry(
+            clock=lambda: self.scheduler.now, enabled=series,
+            capacity=series_capacity, window_s=series_window,
+            sample_interval=series_sample_interval, flight=self.flight)
+        self.series.attach_scheduler(self.scheduler)
         self.trace_collector = TraceCollector(
             enabled=trace_spans, clock=lambda: self.scheduler.now,
-            metrics=self.metrics)
+            metrics=self.metrics, flight=self.flight)
         self.network = Network(self.scheduler, latency_model=latency_model,
                                tracer=self.tracer, metrics=self.metrics,
                                audit=self.audit_scope,
-                               spans=self.trace_collector)
+                               spans=self.trace_collector,
+                               series=self.series, flight=self.flight)
         self._register_scheduler_audit()
         self.tcp = TcpStack(self.network, mtu=mtu)
-        self.faults = FaultInjector(self.scheduler, self.network)
+        self.faults = FaultInjector(self.scheduler, self.network,
+                                    flight=self.flight)
         self.rng = random.Random(seed)
         self.seed = seed
 
@@ -171,6 +196,11 @@ class World:
         its declared floor.  Also publishes the ``*.state.*`` gauge
         family into ``world.metrics`` (created on first audit)."""
         report = self.audit_scope.audit()
+        flight = self.flight
+        if flight.enabled:
+            for row in report.violations:
+                flight.record("flight.audit", name=row.name, owner=row.owner,
+                              size=row.size, floor=row.floor)
         if strict:
             report.assert_clean()
         return report
@@ -184,6 +214,15 @@ class World:
     def trace_tree(self) -> str:
         """Aligned text tree of the recorded spans, one tree per trace."""
         return self.trace_collector.export_tree()
+
+    def series_json(self) -> str:
+        """Canonical JSON dump of every time series (byte-identical
+        across seeded reruns, on either twin scheduler)."""
+        return self.series.to_json()
+
+    def flight_json(self) -> str:
+        """Canonical JSON dump of the flight recorder's event ring."""
+        return self.flight.dump_json()
 
     def metrics_json(self, include_wall: bool = False) -> str:
         """Canonical JSON snapshot (byte-identical across seeded reruns

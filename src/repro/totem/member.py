@@ -425,6 +425,10 @@ class TotemMember(Process):
         self._m_token_loss.inc()
         self.tracer.emit(self.scheduler.now, "totem.token_loss", self.name,
                          "token loss timeout")
+        fl = self.flight
+        if fl.enabled:
+            fl.record("flight.token_loss", member=self.name,
+                      ring=str(self.ring_id))
         self._observe_detection_latency()
         self._enter_gather("token loss")
 
@@ -569,6 +573,12 @@ class TotemMember(Process):
                          f"ring {commit.ring_id} installed",
                          members=list(commit.members),
                          start_seq=commit.start_seq)
+        fl = self.flight
+        if fl.enabled:
+            fl.record("flight.membership", member=self.name,
+                      ring=str(commit.ring_id),
+                      members=",".join(commit.members),
+                      start_seq=commit.start_seq)
         for fn in list(self._membership_listeners):
             fn(self.members, self.ring_id)
         self._reset_loss_timer()

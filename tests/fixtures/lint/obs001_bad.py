@@ -5,3 +5,9 @@
 def record(metrics, spans, trace_id):
     metrics.counter("definitely.not.in.catalogue").inc()
     spans.start(trace_id, "mystery.span")
+
+
+def record_series(series, flight):
+    series.observe("series.not.in.catalogue", 1.0, group="1")
+    series.sample("series.also.uncatalogued", lambda: 0)
+    flight.record("flight.mystery.kind", detail="x")

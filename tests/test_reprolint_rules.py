@@ -60,6 +60,9 @@ def test_bad_fixtures_flag_every_offending_construct():
     flagged = {v.message for v in obs1.violations if v.code == "OBS001"}
     assert any("definitely.not.in.catalogue" in m for m in flagged)
     assert any("mystery.span" in m for m in flagged)
+    assert any("series.not.in.catalogue" in m for m in flagged)
+    assert any("series.also.uncatalogued" in m for m in flagged)
+    assert any("flight.mystery.kind" in m for m in flagged)
     aud1 = lint_fixture("aud001_bad.py")
     flagged = {v.message for v in aud1.violations if v.code == "AUD001"}
     assert any("_forgotten" in m for m in flagged)

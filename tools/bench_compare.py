@@ -38,6 +38,15 @@ workload with causal tracing off and on, reporting the wall-clock cost
 of the instrumentation and verifying that the *simulated* results are
 identical either way (tracing must never perturb the discrete-event
 schedule).
+
+``--series-overhead`` is the analogous mode for the time-series
+registry (``repro.obs.series``): same workload with the registry off
+and on, verifying identical simulated rows (event series add no
+scheduler events), gating the series-*disabled* wall-clock at 1.05x
+of the committed baseline minimum (the laziness contract: a disabled
+registry costs one attribute load and one boolean test per hook), and
+publishing per-group latency/shed aggregates from the enabled run to
+the CI job summary.
 """
 
 from __future__ import annotations
@@ -338,6 +347,104 @@ def trace_overhead(rounds: int) -> int:
     return 0
 
 
+SERIES_DISABLED_LIMIT = 1.05
+
+
+def _series_summary_lines(clients: int, snapshot: dict) -> list:
+    """Markdown table of the enabled run's windowed aggregates."""
+    lines = [f"series aggregates at {clients} clients "
+             f"(t={snapshot['t']:.4f}s, window {snapshot['window_s']}s):",
+             "| series | count | last | rate/s | ewma | p95 |",
+             "|---|---:|---:|---:|---:|---:|"]
+    for key, row in sorted(snapshot["series"].items()):
+        def fmt(value):
+            return "-" if value is None else f"{value:.4f}"
+        lines.append(
+            f"| `{key}` | {row['count']} | {fmt(row['last'])} "
+            f"| {fmt(row['rate'])} | {fmt(row['ewma'])} "
+            f"| {fmt(row['p95'])} |")
+    return lines
+
+
+def series_overhead(rounds: int, baseline_path: str) -> int:
+    """Measure time-series overhead on the gateway-scaling workload.
+
+    For each client count, times ``run_clients`` with the series
+    registry disabled and enabled (best of ``rounds``) and checks
+
+    * the simulated result rows are identical either way — the
+      gateway's event series observe the schedule without adding
+      events to it;
+    * the series-*disabled* wall-clock stays within
+      ``SERIES_DISABLED_LIMIT`` (1.05x) of the committed baseline
+      minimum for the same client count, so the always-present lazy
+      hooks (one attribute load + one boolean test per shed/latency
+      site) stay free when the feature is off.
+    """
+    import time as _time
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+    from bench_gateway_scaling import run_clients  # noqa: E402
+
+    with open(baseline_path) as f:
+        baseline = json.load(f)["benchmarks"]
+
+    failures = []
+    summary = None
+    print(f"{'clients':>7} {'off ms':>9} {'on ms':>9} {'overhead':>9} "
+          f"{'vs base':>9}")
+    for clients in (1, 2, 4, 8):
+        timings = {}
+        for enabled in (False, True):
+            best, row = None, None
+            for _ in range(rounds):
+                t0 = _time.perf_counter()
+                row = run_clients(clients, series=enabled)
+                dt = _time.perf_counter() - t0
+                best = dt if best is None else min(best, dt)
+            timings[enabled] = (best, row)
+        (off_s, off_row), (on_s, on_row) = timings[False], timings[True]
+        if off_row != on_row:
+            failures.append(f"{clients} clients: simulated results differ "
+                            f"with series on ({off_row} vs {on_row})")
+        snapshot = getattr(run_clients, "last_series", None)
+        if snapshot and snapshot.get("series"):
+            summary = _series_summary_lines(clients, snapshot)
+        ref = baseline.get(f"test_gateway_scaling_clients[{clients}]", {})
+        gate_ref = ref.get("min_s", ref.get("mean_s"))
+        base_ratio = off_s / gate_ref if gate_ref else None
+        if base_ratio is not None and base_ratio > SERIES_DISABLED_LIMIT:
+            failures.append(
+                f"{clients} clients: series-disabled wall-clock "
+                f"{base_ratio:.3f}x over baseline min "
+                f"({gate_ref * 1000:.2f}ms -> {off_s * 1000:.2f}ms, "
+                f"allowed {SERIES_DISABLED_LIMIT:.2f}x)")
+        ratio = on_s / off_s if off_s else float("inf")
+        base_text = (f"{base_ratio:>8.2f}x" if base_ratio is not None
+                     else f"{'n/a':>9}")
+        print(f"{clients:>7} {off_s * 1000:>9.2f} {on_s * 1000:>9.2f} "
+              f"{ratio:>8.2f}x {base_text}")
+
+    if summary:
+        print()
+        for line in summary:
+            print(f"  {line}")
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            with open(summary_path, "a") as f:
+                f.write("### Time-series overhead\n\n")
+                for line in summary:
+                    f.write(f"{line}\n")
+    if failures:
+        print("\nSERIES OVERHEAD GATE FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nsimulated results identical with series on and off; "
+          "disabled wall-clock within gate")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline",
@@ -356,13 +463,21 @@ def main() -> int:
                         help="measure causal-tracing overhead on the "
                              "gateway-scaling workload instead of running "
                              "the regression gate")
+    parser.add_argument("--series-overhead", action="store_true",
+                        help="measure time-series registry overhead on the "
+                             "gateway-scaling workload (identical-rows check "
+                             "plus the 1.05x disabled-cost gate) instead of "
+                             "running the regression gate")
     parser.add_argument("--rounds", type=int, default=3,
-                        help="repeats per measurement in --trace-overhead "
-                             "mode (default 3; best-of wins)")
+                        help="repeats per measurement in --trace-overhead / "
+                             "--series-overhead modes (default 3; best-of "
+                             "wins)")
     args = parser.parse_args()
 
     if args.trace_overhead:
         return trace_overhead(args.rounds)
+    if args.series_overhead:
+        return series_overhead(args.rounds, args.baseline)
 
     with open(args.baseline) as f:
         baseline = json.load(f)

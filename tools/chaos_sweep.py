@@ -11,14 +11,21 @@ additionally sweeps ordered pairs of faults (victim A at t1, victim B
 at t2 > t1) — quadratic, so expect a few minutes.
 
 Prints a summary and exits non-zero if any scenario violated an
-invariant.  This is the campaign behind
-``tests/test_chaos_sweep.py``'s bounded grid.
+invariant.  Every world runs with the flight recorder armed (it is
+purely passive, so arming it never perturbs the schedule); a failing
+scenario dumps its black box — the last high-signal events before the
+violation — as deterministic canonical JSON to
+``flight-<scenario>.json`` (``--flight-dir``, default the current
+directory), which CI uploads as an artifact.  This is the campaign
+behind ``tests/test_chaos_sweep.py``'s bounded grid.
 """
 
 from __future__ import annotations
 
 import argparse
 import itertools
+import os
+import re
 import sys
 import time
 
@@ -30,7 +37,7 @@ from repro.eternal import FaultToleranceDomain, ReplicationStyle  # noqa: E402
 
 
 def build(seed):
-    world = World(seed=seed, trace=False)
+    world = World(seed=seed, trace=False, flight=True)
     domain = FaultToleranceDomain(world, "dom", num_hosts=4)
     domain.add_gateway(port=2809)
     domain.add_gateway(port=2809)
@@ -50,10 +57,18 @@ def build(seed):
 def run(faults, operations, seed=5, audit=False):
     """faults: list of (victim host name index, delay seconds).
 
-    With ``audit=True`` the scenario additionally runs the world's
-    resource-leak audit at quiescence (see repro.obs.audit) and fails
-    if any live component holds state above its declared floor."""
+    Returns ``(ok, detail, world)`` — the world so a failing caller can
+    dump its flight recorder.  With ``audit=True`` the scenario
+    additionally runs the world's resource-leak audit at quiescence
+    (see repro.obs.audit) and fails if any live component holds state
+    above its declared floor."""
     world, domain, group, stub = build(seed)
+    ok, detail = _run_checks(world, domain, group, stub, faults,
+                             operations, audit)
+    return ok, detail, world
+
+
+def _run_checks(world, domain, group, stub, faults, operations, audit):
     victims = [h.name for h in domain.hosts]
     gateway_hosts = {gw.host.name for gw in domain.gateways}
     chosen = {victims[index % len(victims)] for index, _ in faults}
@@ -102,6 +117,17 @@ def run(faults, operations, seed=5, audit=False):
     return True, "ok"
 
 
+def _dump_flight(world, scenario, flight_dir):
+    """Write the failing scenario's black box; return the path."""
+    slug = re.sub(r"[^a-z0-9]+", "-", scenario.lower()).strip("-")
+    path = os.path.join(flight_dir, f"flight-{slug}.json")
+    os.makedirs(flight_dir, exist_ok=True)
+    with open(path, "w") as f:
+        f.write(world.flight_json())
+        f.write("\n")
+    return path
+
+
 def _audit_detail(world):
     """None when the audit is clean, else a one-line leak description."""
     report = world.audit()
@@ -121,6 +147,9 @@ def main() -> int:
     parser.add_argument("--audit", action="store_true",
                         help="also run the resource-leak audit at "
                              "quiescence of every scenario")
+    parser.add_argument("--flight-dir", default=".",
+                        help="directory for flight-<scenario>.json dumps "
+                             "of failing scenarios (default: .)")
     args = parser.parse_args()
 
     grid = [t / 1000.0 for t in range(10, 600, args.grid_ms)]
@@ -132,9 +161,12 @@ def main() -> int:
     print(f"single-fault sweep: {processors} victims x {len(grid)} instants")
     for index, delay in itertools.product(range(processors), grid):
         total += 1
-        ok, detail = run([(index, delay)], args.ops, audit=args.audit)
+        ok, detail, world = run([(index, delay)], args.ops,
+                                audit=args.audit)
         if not ok:
-            failures.append((f"single victim={index} t={delay}", detail))
+            name = f"single victim={index} t={delay}"
+            dump = _dump_flight(world, name, args.flight_dir)
+            failures.append((name, f"{detail} [flight: {dump}]"))
 
     if args.double:
         print("double-fault sweep (this takes a while) ...")
@@ -143,11 +175,12 @@ def main() -> int:
             if t2 <= t1 or i1 == i2:
                 continue
             total += 1
-            ok, detail = run([(i1, t1), (i2, t2)], args.ops,
-                             audit=args.audit)
+            ok, detail, world = run([(i1, t1), (i2, t2)], args.ops,
+                                    audit=args.audit)
             if not ok:
-                failures.append(
-                    (f"double ({i1}@{t1}, {i2}@{t2})", detail))
+                name = f"double ({i1}@{t1}, {i2}@{t2})"
+                dump = _dump_flight(world, name, args.flight_dir)
+                failures.append((name, f"{detail} [flight: {dump}]"))
 
     elapsed = time.time() - started
     print(f"\n{total} scenarios in {elapsed:.1f}s wall; "

@@ -19,6 +19,11 @@ Consumes the Chrome ``trace_event`` JSON written by
 
 All numbers are *simulated* milliseconds; the breakdown is exact, not
 sampled, because every hop of every invocation is recorded.
+
+``--json`` replaces the tables with a canonical JSON document (sorted
+keys, no whitespace — byte-identical for the same trace) holding the
+per-trace critical-path rows plus the aggregate totals, for scripted
+consumers and CI artifacts.
 """
 
 from __future__ import annotations
@@ -134,6 +139,17 @@ def render(rows: List[Dict[str, Any]], top: int) -> str:
     return "\n".join(lines)
 
 
+def render_json(rows: List[Dict[str, Any]]) -> str:
+    """Canonical JSON critical-path document (machine consumers)."""
+    totals = {k: sum(r[k] for r in rows)
+              for k in ("total_us", "ordering_us", "execution_us",
+                        "other_us")}
+    totals["hops"] = sum(r["hops"] for r in rows)
+    document = {"schema": 1, "rows": rows, "totals": totals}
+    return json.dumps(document, sort_keys=True, separators=(",", ":"),
+                      allow_nan=False)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="critical-path breakdown of an exported causal trace")
@@ -141,14 +157,23 @@ def main(argv=None) -> int:
                                       "for stdin")
     parser.add_argument("--top", type=int, default=5,
                         help="slowest-invocations table size (default 5)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the critical-path rows as canonical "
+                             "JSON instead of the tables")
     args = parser.parse_args(argv)
     events = load_events(args.trace)
     if not events:
-        print("no spans in trace")
+        if args.json:
+            print(render_json([]))
+        else:
+            print("no spans in trace")
         return 1
     rows = analyze(group_by_trace(events))
     rows.sort(key=lambda r: r["trace"])
-    print(render(rows, args.top))
+    if args.json:
+        print(render_json(rows))
+    else:
+        print(render(rows, args.top))
     return 0
 
 
