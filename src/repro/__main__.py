@@ -62,14 +62,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="world seed (default: 2026)")
     parser.add_argument("--lint", action="store_true",
                         help="run the reprolint determinism linter over "
-                             "src/ instead of the demo")
+                             "src/ instead of the demo; extra arguments "
+                             "(e.g. --graph-dump FILE, --protocol-dump "
+                             "FILE, --budget SECONDS) pass through to it")
     parser.add_argument("--race-sweep", action="store_true",
                         help="replay the golden scenarios under permuted "
                              "tie-break orders instead of the demo")
-    args = parser.parse_args(argv)
+    args, extra = parser.parse_known_args(argv)
     if args.lint:
+        # Unrecognised flags belong to the linter (--graph-dump,
+        # --protocol-dump, --budget, paths, ...), not the demo.
         from repro.analysis.cli import main as lint_main
-        return lint_main([])
+        return lint_main(extra)
+    if extra:
+        parser.error("unrecognized arguments: " + " ".join(extra))
     if args.race_sweep:
         return _race_sweep()
     tracing = args.trace or args.trace_json

@@ -1,0 +1,671 @@
+"""Project-wide call graph + interprocedural taint (DET101/DET102/SIM101).
+
+The per-file rules (DET001/DET002/SIM001) stop at function boundaries:
+a deterministic-scope function that calls an *out-of-scope* helper
+which reads the wall clock is invisible to them.  This module builds a
+call graph over every file of the lint run and runs a transitive-taint
+pass from the same sink families, flagging the exact call edge where a
+deterministic function hands control to tainted out-of-scope code.
+
+**What the graph resolves** (documented in docs/STATIC_ANALYSIS.md):
+
+* module-qualified calls — ``mod.func(...)``, ``from m import f; f(...)``
+  (absolute and relative imports);
+* same-module and imported class constructors (edge to ``__init__``);
+* ``self.method(...)`` including inherited methods (base-class lookup
+  bounded to depth 3, bases resolved through imports);
+* class-attribute bindings — ``self.x = ClassName(...)`` in any method
+  makes ``self.x.meth(...)`` resolve to ``ClassName.meth``;
+* bounded local aliasing — ``f = mod.func; f()`` and
+  ``obj = ClassName(); obj.meth()`` inside one function body, with one
+  level of alias-to-alias chaining (two fixed passes, no fixpoint).
+
+**What it over-approximates**: nested ``def``/``lambda`` bodies are
+attributed to the enclosing named function, and a method call through
+an attribute binds to the statically-bound class even if a subclass
+instance is assigned at runtime.  **What it under-approximates**:
+calls through arbitrary data structures, higher-order dispatch beyond
+one aliasing level, and module-level statements.  Under-approximation
+is safe here because *every* in-scope function is independently
+checked — a callback reached only through the scheduler still gets its
+own frame analysed.
+
+**Taint semantics**: a function with a direct, *unsuppressed* sink
+(wall clock / ambient randomness / host blocking) seeds its family;
+taint flows caller-ward over call edges.  A justified inline
+suppression of the base code (DET001/DET002/SIM001) on the sink line
+marks a sanctioned boundary — e.g. ``repro.obs.hostclock`` — and does
+*not* propagate.  A violation is reported once per scope-crossing:
+the in-scope caller frame whose direct callee is out-of-scope and
+tainted, anchored at the call line, with the full witness chain down
+to the concrete sink in the message.  In-scope tainted callees are
+not re-flagged along the way (they are flagged at their own crossing,
+or by the per-file base rule if the sink is direct).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .lint import (LintContext, ProjectContext, ProjectRule, Suppression,
+                   Violation)
+from .rules import (_BLOCKING_CALLS, _BLOCKING_MODULES, _ENTROPY_ORIGINS,
+                    _RANDOM_OK, _WALL_TIME_FNS, dotted_name)
+
+#: Taint families: (family key, base per-file code, interprocedural code).
+FAMILIES: Tuple[Tuple[str, str, str], ...] = (
+    ("wall", "DET001", "DET101"),
+    ("random", "DET002", "DET102"),
+    ("blocking", "SIM001", "SIM101"),
+)
+
+_DATETIME_LEAVES = frozenset({"now", "utcnow", "today"})
+
+
+@dataclass
+class FunctionInfo:
+    """One named function or method in the linted set."""
+
+    qname: str                     # module.func or module.Class.method
+    module: str
+    path: str
+    line: int
+    node: ast.AST                  # FunctionDef / AsyncFunctionDef
+    class_qname: Optional[str] = None
+
+
+@dataclass
+class ClassInfo:
+    """One top-level class: its methods, bases, and attribute bindings."""
+
+    qname: str
+    module: str
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    bases: List[str] = field(default_factory=list)   # resolved class qnames
+    #: ``self.attr = KnownClass(...)`` bindings seen in any method.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site (deduplicated per caller/callee pair)."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+
+
+@dataclass(frozen=True)
+class SinkUse:
+    """One direct sink reference inside a function body."""
+
+    function: str
+    family: str        # "wall" | "random" | "blocking"
+    detail: str        # e.g. "time.perf_counter", "socket.socket"
+    path: str
+    line: int
+    suppressed: bool   # justified base-code suppression on this line
+
+
+@dataclass
+class Taint:
+    """Why one function is tainted: BFS distance and witness pointers."""
+
+    distance: int
+    next_hop: Optional[str]        # callee one step closer to the sink
+    sink: SinkUse                  # the concrete sink this chain ends at
+
+
+def _module_in(module: str, prefixes: Sequence[str]) -> bool:
+    return any(module == p or module.startswith(p + ".")
+               for p in prefixes)
+
+
+def _suppressed_at(suppressions: Sequence[Suppression], code: str,
+                   line: int) -> bool:
+    """Justified suppression of ``code`` covering ``line``?"""
+    for supp in suppressions:
+        if code in supp.codes and supp.justification and (
+                supp.file_level or supp.applies_to_line == line):
+            return True
+    return False
+
+
+def _aliases_for(ctx: LintContext) -> Dict[str, str]:
+    """Local name -> dotted origin, resolving relative imports against
+    the file's own module path (unlike :func:`rules.import_aliases`,
+    which skips them)."""
+    aliases: Dict[str, str] = {}
+    parts = ctx.module.split(".") if ctx.module else []
+    is_package = ctx.path.endswith("__init__.py")
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                # ``from . import x`` / ``from ..pkg import y``: peel
+                # ``level`` components off our own dotted path (one
+                # fewer for a package __init__, whose module *is* the
+                # package).
+                drop = node.level - (1 if is_package else 0)
+                parent = parts[:len(parts) - drop] if drop <= len(parts) else []
+                base = ".".join(parent + ([node.module] if node.module else []))
+            for alias in node.names:
+                target = f"{base}.{alias.name}" if base else alias.name
+                aliases[alias.asname or alias.name] = target
+    return aliases
+
+
+def _resolve(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted origin of an expression through the import table."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin
+
+
+class CallGraph:
+    """The resolved call graph of one lint run, with taint on demand."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self.edges: List[CallEdge] = []
+        self.sinks: List[SinkUse] = []
+        self._callers: Dict[str, List[str]] = {}
+        self._sinks_by_fn: Dict[Tuple[str, str], List[SinkUse]] = {}
+        self._taint: Dict[str, Dict[str, Taint]] = {}
+        self._module_aliases: Dict[str, Dict[str, str]] = {}
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, project: ProjectContext) -> "CallGraph":
+        graph = cls()
+        tables = {ctx.module: _aliases_for(ctx) for ctx in project.contexts}
+        graph._module_aliases = tables
+        # Pass 1: declare every function, method, and class.
+        for ctx in project.contexts:
+            graph._collect_definitions(ctx)
+        # Pass 2: resolve base classes and attribute bindings (needs the
+        # full class table from pass 1).
+        for ctx in project.contexts:
+            graph._collect_class_structure(ctx, tables[ctx.module])
+        # Pass 3: resolve call sites and sinks per function body.
+        raw_edges: Dict[Tuple[str, str], CallEdge] = {}
+        for info in graph.functions.values():
+            ctx = _ctx_of(project, info)
+            if ctx is None:
+                continue
+            graph._scan_body(info, ctx, tables[ctx.module],
+                             project.suppressions.get(info.path, ()),
+                             raw_edges)
+        graph.edges = sorted(
+            raw_edges.values(),
+            key=lambda e: (e.caller, e.callee, e.line, e.col))
+        graph.sinks.sort(key=lambda s: (s.function, s.family, s.line))
+        for edge in graph.edges:
+            graph._callers.setdefault(edge.callee, []).append(edge.caller)
+        return graph
+
+    def _collect_definitions(self, ctx: LintContext) -> None:
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qname = f"{ctx.module}.{node.name}"
+                self.functions[qname] = FunctionInfo(
+                    qname=qname, module=ctx.module, path=ctx.path,
+                    line=node.lineno, node=node)
+            elif isinstance(node, ast.ClassDef):
+                cls_qname = f"{ctx.module}.{node.name}"
+                info = ClassInfo(qname=cls_qname, module=ctx.module)
+                self.classes[cls_qname] = info
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        qname = f"{cls_qname}.{item.name}"
+                        fn = FunctionInfo(
+                            qname=qname, module=ctx.module, path=ctx.path,
+                            line=item.lineno, node=item,
+                            class_qname=cls_qname)
+                        self.functions[qname] = fn
+                        info.methods[item.name] = fn
+
+    def _collect_class_structure(self, ctx: LintContext,
+                                 aliases: Dict[str, str]) -> None:
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = self.classes[f"{ctx.module}.{node.name}"]
+            for base in node.bases:
+                resolved = self._class_ref(base, ctx.module, aliases)
+                if resolved is not None:
+                    info.bases.append(resolved)
+            # ``self.attr = KnownClass(...)`` anywhere in the class body.
+            for sub in ast.walk(node):
+                if not (isinstance(sub, ast.Assign)
+                        and len(sub.targets) == 1
+                        and isinstance(sub.targets[0], ast.Attribute)):
+                    continue
+                target = sub.targets[0]
+                if not (isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and isinstance(sub.value, ast.Call)):
+                    continue
+                bound = self._class_ref(sub.value.func, ctx.module, aliases)
+                if bound is not None:
+                    info.attr_types.setdefault(target.attr, bound)
+
+    def _follow(self, origin: str, depth: int = 0) -> str:
+        """Follow package re-exports: ``repro.iiop.encode_reply`` ->
+        ``repro.iiop.giop.encode_reply`` through the ``__init__``
+        import table.  Bounded to depth 3."""
+        if depth >= 3 or origin in self.functions or origin in self.classes:
+            return origin
+        holder, _, leaf = origin.rpartition(".")
+        table = self._module_aliases.get(holder)
+        if table is not None and leaf in table:
+            return self._follow(table[leaf], depth + 1)
+        return origin
+
+    def _class_ref(self, node: ast.AST, module: str,
+                   aliases: Dict[str, str]) -> Optional[str]:
+        """Resolve an expression to a known class qname, if any."""
+        origin = _resolve(node, aliases)
+        if origin is None:
+            return None
+        origin = self._follow(origin)
+        if origin in self.classes:
+            return origin
+        local = f"{module}.{origin}"
+        return local if local in self.classes else None
+
+    # -- per-function body scan ---------------------------------------
+
+    def _scan_body(self, info: FunctionInfo, ctx: LintContext,
+                   aliases: Dict[str, str],
+                   suppressions: Sequence[Suppression],
+                   raw_edges: Dict[Tuple[str, str], CallEdge]) -> None:
+        nodes = list(ast.walk(info.node))
+        local_fns, local_types = self._local_aliases(nodes, info, aliases)
+        for node in nodes:
+            if isinstance(node, ast.Call):
+                callee = self._resolve_call(node, info, aliases,
+                                            local_fns, local_types)
+                if callee is not None and callee != info.qname:
+                    key = (info.qname, callee)
+                    if key not in raw_edges:
+                        raw_edges[key] = CallEdge(
+                            caller=info.qname, callee=callee,
+                            line=node.lineno, col=node.col_offset)
+            self._scan_sinks(node, info, aliases, suppressions)
+
+    def _local_aliases(self, nodes: Sequence[ast.AST], info: FunctionInfo,
+                       aliases: Dict[str, str]
+                       ) -> Tuple[Dict[str, str], Dict[str, str]]:
+        """Bounded (two-pass, no fixpoint) local alias tables:
+        name -> function qname, and name -> class qname (instances)."""
+        local_fns: Dict[str, str] = {}
+        local_types: Dict[str, str] = {}
+        assigns = [n for n in nodes
+                   if isinstance(n, ast.Assign) and len(n.targets) == 1
+                   and isinstance(n.targets[0], ast.Name)]
+        for _ in range(2):
+            for assign in assigns:
+                target = assign.targets[0]
+                assert isinstance(target, ast.Name)
+                name = target.id
+                value = assign.value
+                if isinstance(value, ast.Call):
+                    bound = self._class_ref(value.func, info.module, aliases)
+                    if bound is not None:
+                        local_types.setdefault(name, bound)
+                elif isinstance(value, (ast.Name, ast.Attribute)):
+                    # ``f = mod.func`` / ``f = g`` (one chain level).
+                    if isinstance(value, ast.Name):
+                        if value.id in local_fns:
+                            local_fns.setdefault(name, local_fns[value.id])
+                            continue
+                        if value.id in local_types:
+                            local_types.setdefault(name,
+                                                   local_types[value.id])
+                            continue
+                    ref = self._function_ref(value, info, aliases)
+                    if ref is not None:
+                        local_fns.setdefault(name, ref)
+        return local_fns, local_types
+
+    def _function_ref(self, node: ast.AST, info: FunctionInfo,
+                      aliases: Dict[str, str]) -> Optional[str]:
+        """Resolve a non-call expression to a known function qname
+        (``self._handler``, ``mod.func``, bare imported name)."""
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self" and info.class_qname):
+            return self.method_qname(info.class_qname, node.attr)
+        origin = _resolve(node, aliases)
+        if origin is None:
+            return None
+        origin = self._follow(origin)
+        if origin in self.functions:
+            return origin
+        local = f"{info.module}.{origin}"
+        return local if local in self.functions else None
+
+    def method_qname(self, cls_qname: str, name: str,
+                     depth: int = 0) -> Optional[str]:
+        """Method lookup with base-class traversal bounded to depth 3."""
+        info = self.classes.get(cls_qname)
+        if info is None:
+            return None
+        if name in info.methods:
+            return f"{cls_qname}.{name}"
+        if depth >= 3:
+            return None
+        for base in info.bases:
+            found = self.method_qname(base, name, depth + 1)
+            if found is not None:
+                return found
+        return None
+
+    def _resolve_call(self, call: ast.Call, info: FunctionInfo,
+                      aliases: Dict[str, str],
+                      local_fns: Dict[str, str],
+                      local_types: Dict[str, str]) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in local_fns:
+                return local_fns[name]
+            local = f"{info.module}.{name}"
+            if local in self.functions:
+                return local
+            origin = self._follow(aliases.get(name, ""))
+            for cls_qname in (local, origin):
+                if cls_qname in self.classes:
+                    return self.method_qname(cls_qname, "__init__")
+            if origin in self.functions:
+                return origin
+            return None
+        if not isinstance(func, ast.Attribute):
+            return None
+        value = func.value
+        # self.method(...) and self.attr.method(...)
+        if isinstance(value, ast.Name) and value.id == "self":
+            if info.class_qname is None:
+                return None
+            return self.method_qname(info.class_qname, func.attr)
+        if (isinstance(value, ast.Attribute)
+                and isinstance(value.value, ast.Name)
+                and value.value.id == "self" and info.class_qname):
+            cls_info = self.classes.get(info.class_qname)
+            bound = cls_info.attr_types.get(value.attr) if cls_info else None
+            if bound is not None:
+                return self.method_qname(bound, func.attr)
+            return None
+        # obj.method(...) where obj is a locally-constructed instance.
+        if isinstance(value, ast.Name) and value.id in local_types:
+            return self.method_qname(local_types[value.id], func.attr)
+        # Fully-dotted references: mod.func(...), mod.Class(...),
+        # ClassName.method(...) through the imports.
+        origin = _resolve(func, aliases)
+        if origin is None:
+            return None
+        origin = self._follow(origin)
+        if origin in self.functions:
+            return origin
+        if origin in self.classes:
+            return self.method_qname(origin, "__init__")
+        holder, _, leaf = origin.rpartition(".")
+        holder = self._follow(holder)
+        if holder in self.classes:
+            return self.method_qname(holder, leaf)
+        local = f"{info.module}.{origin}"
+        if local in self.functions:
+            return local
+        return None
+
+    # -- sinks ---------------------------------------------------------
+
+    def _scan_sinks(self, node: ast.AST, info: FunctionInfo,
+                    aliases: Dict[str, str],
+                    suppressions: Sequence[Suppression]) -> None:
+        family: Optional[str] = None
+        detail = ""
+        if isinstance(node, (ast.Name, ast.Attribute)):
+            origin = _resolve(node, aliases)
+            if origin is None:
+                return
+            head, _, leaf = origin.rpartition(".")
+            if head == "time" and leaf in _WALL_TIME_FNS:
+                family, detail = "wall", origin
+            elif (origin.startswith("datetime.")
+                    and leaf in _DATETIME_LEAVES):
+                family, detail = "wall", origin
+            elif (head == "random" and leaf not in _RANDOM_OK):
+                family, detail = "random", origin
+            elif origin in _ENTROPY_ORIGINS:
+                family, detail = "random", origin
+        elif isinstance(node, ast.Call):
+            origin = _resolve(node.func, aliases)
+            if origin is not None:
+                root = origin.split(".")[0]
+                if origin in _BLOCKING_CALLS or root in _BLOCKING_MODULES:
+                    family, detail = "blocking", origin
+            if (family is None and isinstance(node.func, ast.Name)
+                    and node.func.id in ("open", "input")):
+                family, detail = "blocking", f"{node.func.id}()"
+        if family is None:
+            return
+        base = {"wall": "DET001", "random": "DET002",
+                "blocking": "SIM001"}[family]
+        line = getattr(node, "lineno", info.line)
+        sink = SinkUse(
+            function=info.qname, family=family, detail=detail,
+            path=info.path, line=line,
+            suppressed=_suppressed_at(suppressions, base, line))
+        self.sinks.append(sink)
+        self._sinks_by_fn.setdefault((info.qname, family), []).append(sink)
+
+    def callers(self, qname: str) -> List[str]:
+        """Callers of ``qname`` (deduplicated caller qnames, sorted)."""
+        return sorted(set(self._callers.get(qname, ())))
+
+    def direct_sinks(self, qname: str, family: str,
+                     include_suppressed: bool = False) -> List[SinkUse]:
+        found = self._sinks_by_fn.get((qname, family), [])
+        if include_suppressed:
+            return list(found)
+        return [s for s in found if not s.suppressed]
+
+    # -- taint ---------------------------------------------------------
+
+    def taint(self, family: str) -> Dict[str, Taint]:
+        """Function qname -> taint record, via deterministic BFS from
+        every unsuppressed sink of ``family`` over reverse call edges."""
+        if family in self._taint:
+            return self._taint[family]
+        info: Dict[str, Taint] = {}
+        frontier: List[str] = []
+        for qname in sorted(self.functions):
+            sinks = self.direct_sinks(qname, family)
+            if sinks:
+                info[qname] = Taint(distance=0, next_hop=None,
+                                    sink=min(sinks, key=lambda s: s.line))
+                frontier.append(qname)
+        while frontier:
+            next_frontier: List[str] = []
+            for callee in sorted(frontier):
+                for caller in sorted(self._callers.get(callee, ())):
+                    if caller in info:
+                        continue
+                    info[caller] = Taint(
+                        distance=info[callee].distance + 1,
+                        next_hop=callee, sink=info[callee].sink)
+                    next_frontier.append(caller)
+            frontier = next_frontier
+        self._taint[family] = info
+        return info
+
+    def chain(self, family: str, qname: str) -> str:
+        """Human-readable witness chain from ``qname`` down to the sink."""
+        info = self.taint(family)
+        parts: List[str] = []
+        cursor: Optional[str] = qname
+        while cursor is not None:
+            parts.append(cursor)
+            cursor = info[cursor].next_hop
+        sink = info[qname].sink
+        parts.append(f"{sink.detail} [{sink.path}:{sink.line}]")
+        return " -> ".join(parts)
+
+
+def _ctx_of(project: ProjectContext,
+            info: FunctionInfo) -> Optional[LintContext]:
+    for ctx in project.contexts:
+        if ctx.path == info.path:
+            return ctx
+    return None
+
+
+def build_callgraph(project: ProjectContext) -> CallGraph:
+    """The run's shared call graph (built once, memoised on the project)."""
+    return project.cached("callgraph", lambda: CallGraph.build(project))
+
+
+def render_graph_json(project: ProjectContext) -> Dict[str, object]:
+    """The ``--graph-dump`` payload (schema in docs/STATIC_ANALYSIS.md)."""
+    graph = build_callgraph(project)
+    tainted: Dict[str, Dict[str, object]] = {}
+    for family, _base, _code in FAMILIES:
+        records = graph.taint(family)
+        tainted[family] = {
+            qname: {"distance": taint.distance,
+                    "chain": graph.chain(family, qname)}
+            for qname, taint in sorted(records.items())}
+    return {
+        "schema": 1,
+        "functions": [
+            {"qname": fn.qname, "module": fn.module,
+             "path": fn.path, "line": fn.line}
+            for _q, fn in sorted(graph.functions.items())],
+        "edges": [
+            {"caller": e.caller, "callee": e.callee,
+             "line": e.line, "col": e.col}
+            for e in graph.edges],
+        "sinks": [
+            {"function": s.function, "family": s.family,
+             "detail": s.detail, "path": s.path, "line": s.line,
+             "suppressed": s.suppressed}
+            for s in graph.sinks],
+        "tainted": tainted,
+    }
+
+
+# ----------------------------------------------------------------------
+# DET101 / DET102 / SIM101
+# ----------------------------------------------------------------------
+
+
+class _TaintRule(ProjectRule):
+    """Shared machinery: flag in-scope -> out-of-scope tainted edges."""
+
+    family: str = ""
+    noun: str = ""
+    remedy: str = ""
+
+    def _prefixes(self, project: ProjectContext) -> Sequence[str]:
+        raise NotImplementedError
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        graph = build_callgraph(project)
+        tainted = graph.taint(self.family)
+        prefixes = self._prefixes(project)
+        seen: Set[Tuple[str, str]] = set()
+        for edge in graph.edges:
+            caller = graph.functions[edge.caller]
+            if not _module_in(caller.module, prefixes):
+                continue
+            callee = graph.functions.get(edge.callee)
+            if callee is None or _module_in(callee.module, prefixes):
+                # In-scope callees are flagged at their own frame (or by
+                # the per-file base rule when the sink is direct).
+                continue
+            if edge.callee not in tainted:
+                continue
+            if graph.direct_sinks(edge.caller, self.family):
+                continue  # the base rule already flags this frame
+            key = (edge.caller, edge.callee)
+            if key in seen:
+                continue
+            seen.add(key)
+            ctx = _ctx_of(project, caller)
+            snippet = ctx.line_text(edge.line) if ctx is not None else ""
+            chain = graph.chain(self.family, edge.callee)
+            yield Violation(
+                code=self.code,
+                message=(f"`{edge.caller}` transitively reaches "
+                         f"{self.noun} via `{chain}`; {self.remedy}"),
+                path=caller.path, line=edge.line, col=edge.col,
+                snippet=snippet)
+
+
+class TransitiveWallClockRule(_TaintRule):
+    """DET101: deterministic code reaching a wall-clock read through
+    out-of-scope helpers.  The interprocedural sibling of DET001."""
+
+    code = "DET101"
+    name = "transitive-wall-clock"
+    description = ("deterministic entry point transitively reaches a "
+                   "wall-clock read")
+    family = "wall"
+    noun = "a wall-clock read"
+    remedy = ("deterministic code must stay on the scheduler clock "
+              "(repro.obs.hostclock is the only sanctioned boundary)")
+
+    def _prefixes(self, project: ProjectContext) -> Sequence[str]:
+        return project.config.deterministic_prefixes
+
+
+class TransitiveRandomRule(_TaintRule):
+    """DET102: deterministic code reaching ambient randomness through
+    out-of-scope helpers.  The interprocedural sibling of DET002."""
+
+    code = "DET102"
+    name = "transitive-ambient-random"
+    description = ("deterministic entry point transitively reaches "
+                   "ambient randomness")
+    family = "random"
+    noun = "ambient randomness"
+    remedy = ("draw from the World's seeded random.Random instead of "
+              "module-global RNG state")
+
+    def _prefixes(self, project: ProjectContext) -> Sequence[str]:
+        return project.config.deterministic_prefixes
+
+
+class TransitiveBlockingRule(_TaintRule):
+    """SIM101: sim-driven code reaching host blocking / threads / real
+    I/O through out-of-scope helpers.  The interprocedural sibling of
+    SIM001."""
+
+    code = "SIM101"
+    name = "transitive-sim-discipline"
+    description = ("sim-driven entry point transitively reaches blocking "
+                   "host I/O")
+    family = "blocking"
+    noun = "blocking host I/O"
+    remedy = ("sim-driven code must route all I/O and delays through "
+              "the simulated scheduler")
+
+    def _prefixes(self, project: ProjectContext) -> Sequence[str]:
+        return project.config.sim_only_prefixes

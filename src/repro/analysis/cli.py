@@ -9,15 +9,27 @@ the pytest gate and the blocking CI job enforce), 1 otherwise.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import pathlib
 import sys
 from typing import Optional, Sequence
 
-from .lint import Baseline, default_config, lint_paths
+from ..obs.hostclock import wall_clock
+from .callgraph import render_graph_json
+from .lint import Baseline, ProjectContext, default_config, lint_paths
+from .protocol import render_protocol_json
 from .reporters import (regenerate_baseline, render_json_report,
                         render_text_report)
 
 DEFAULT_BASELINE = "tools/reprolint_baseline.json"
+
+
+def _write_payload(destination: str, payload: str) -> None:
+    if destination == "-":
+        sys.stdout.write(payload)
+    else:
+        pathlib.Path(destination).write_text(payload, encoding="utf-8")
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -40,10 +52,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--root", metavar="DIR", default=None,
                         help="repo root for relative paths and the "
                              "observability catalogue (default: detected)")
+    parser.add_argument("--graph-dump", metavar="FILE", default=None,
+                        help="write the whole-program call-graph/taint "
+                             "JSON to FILE ('-' for stdout)")
+    parser.add_argument("--protocol-dump", metavar="FILE", default=None,
+                        help="write the extracted protocol-surface JSON "
+                             "to FILE ('-' for stdout)")
+    parser.add_argument("--budget", metavar="SECONDS", type=float,
+                        default=None,
+                        help="advisory wall-clock budget; overruns are "
+                             "reported (and noted in "
+                             "$GITHUB_STEP_SUMMARY) but never fail the "
+                             "run")
     parser.add_argument("--verbose", action="store_true",
                         help="list suppressed violations too")
     args = parser.parse_args(argv)
 
+    started = wall_clock()
     root = pathlib.Path(args.root).resolve() if args.root else _detect_root()
     baseline_path = (pathlib.Path(args.baseline) if args.baseline
                      else (root / DEFAULT_BASELINE if root else
@@ -67,6 +92,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             sys.stdout.write(payload)
         else:
             pathlib.Path(args.json).write_text(payload, encoding="utf-8")
+    if args.graph_dump or args.protocol_dump:
+        # Parse-error-only runs have no project; dump an empty one so
+        # the artifact is always well-formed JSON.
+        project = result.project or ProjectContext([], config)
+        if args.graph_dump:
+            _write_payload(args.graph_dump, json.dumps(
+                render_graph_json(project), indent=2, sort_keys=True) + "\n")
+        if args.protocol_dump:
+            _write_payload(args.protocol_dump, json.dumps(
+                render_protocol_json(project), indent=2,
+                sort_keys=True) + "\n")
+    if args.budget is not None:
+        elapsed = wall_clock() - started
+        status = "OVER" if elapsed > args.budget else "within"
+        note = (f"reprolint wall clock: {elapsed:.2f}s — {status} the "
+                f"advisory budget of {args.budget:.1f}s "
+                f"({result.files_scanned} files)")
+        print(note)
+        summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+        if summary_path:
+            with open(summary_path, "a", encoding="utf-8") as handle:
+                handle.write(f"- {note}\n")
     clean = (result.ok and not result.stale_baseline
              and not result.unused_suppressions
              and not result.unjustified_suppressions)

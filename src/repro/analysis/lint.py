@@ -32,7 +32,8 @@ import pathlib
 import re
 import tokenize
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence, Set,
+                    Tuple, Type, TypeVar, cast)
 
 #: Deterministic (simulation-driven) package prefixes: code under these
 #: runs inside scheduler events, so its behaviour must be a pure
@@ -57,7 +58,7 @@ AUDIT_MODULES: Tuple[str, ...] = (
 
 _SUPPRESS_RE = re.compile(
     r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*"
-    r"(?P<codes>[A-Z]{3}\d{3}(?:\s*,\s*[A-Z]{3}\d{3})*)"
+    r"(?P<codes>[A-Z]{2,4}\d{3}(?:\s*,\s*[A-Z]{2,4}\d{3})*)"
     r"(?P<rest>.*)$")
 _MODULE_RE = re.compile(r"#\s*reprolint:\s*module\s*=\s*(?P<module>[\w.]+)")
 _JUSTIFY_RE = re.compile(r"--\s*(?P<why>\S.*)$")
@@ -147,6 +148,18 @@ class LintConfig:
     deterministic_prefixes: Tuple[str, ...] = DETERMINISTIC_PREFIXES
     sim_only_prefixes: Tuple[str, ...] = SIM_ONLY_PREFIXES
     audit_modules: Tuple[str, ...] = AUDIT_MODULES
+    #: Modules holding GIOP wire codecs: top-level ``encode_X``/
+    #: ``decode_X`` functions here must pair up (FLOW003), and the
+    #: ``MsgType`` octet constants defined here anchor the GIOP
+    #: send/dispatch cross-check.
+    giop_codec_modules: Tuple[str, ...] = ("repro.iiop.giop",)
+    #: Class names treated as the domain's message-kind enums: every
+    #: member must have both a live send site (``kind=MsgKind.X``) and
+    #: a live dispatch site (FLOW001/FLOW002).
+    msg_kind_classes: Tuple[str, ...] = ("MsgKind",)
+    #: Modules whose top-level classes are Totem wire messages; each
+    #: must be both constructed and dispatched somewhere in the tree.
+    totem_message_modules: Tuple[str, ...] = ("repro.totem.messages",)
     #: Observability catalogue: exact metric/span names plus ``foo.*``
     #: wildcard prefixes, parsed from docs/OBSERVABILITY.md.  ``None``
     #: disables OBS001 (no doc available to check against).
@@ -226,6 +239,69 @@ def registered_rules() -> Dict[str, Type[LintRule]]:
     """Code -> rule class for every registered rule (imports the pack)."""
     from . import rules as _rules  # noqa: F401  (registration side effect)
     return dict(sorted(_RULES.items()))
+
+
+_CacheT = TypeVar("_CacheT")
+
+
+class ProjectContext:
+    """Every parsed file of one lint run, for whole-program rules.
+
+    Expensive shared artifacts (the call graph, the protocol surface)
+    are built once per run and memoised here so each project rule that
+    needs them pays nothing beyond the first construction.
+    """
+
+    def __init__(self, contexts: Sequence[LintContext],
+                 config: LintConfig,
+                 suppressions: Optional[Dict[str, List[Suppression]]] = None
+                 ) -> None:
+        self.contexts = list(contexts)
+        self.config = config
+        #: path -> parsed suppressions of that file.  Taint analysis
+        #: consults these: a sink whose line carries a justified
+        #: DET001/DET002/SIM001 suppression is a sanctioned boundary
+        #: and must not propagate.
+        self.suppressions: Dict[str, List[Suppression]] = dict(
+            suppressions or {})
+        self._cache: Dict[str, object] = {}
+
+    def cached(self, key: str, build: Callable[[], _CacheT]) -> _CacheT:
+        if key not in self._cache:
+            self._cache[key] = build()
+        return cast(_CacheT, self._cache[key])
+
+
+class ProjectRule:
+    """Whole-program rule: sees every parsed file of the run at once.
+
+    Subclass, set ``code``/``name``, implement ``check_project``.
+    Violations are routed back through the owning file's inline
+    suppressions and the baseline exactly like per-file findings.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def __init_subclass__(cls, **kwargs: object) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.code:
+            _PROJECT_RULES[cls.code] = cls
+
+
+_PROJECT_RULES: Dict[str, Type[ProjectRule]] = {}
+
+
+def registered_project_rules() -> Dict[str, Type[ProjectRule]]:
+    """Code -> project-rule class (imports the whole-program packs)."""
+    from . import callgraph as _callgraph  # noqa: F401  (registration)
+    from . import protocol as _protocol    # noqa: F401  (registration)
+    from . import rules as _rules          # noqa: F401  (registration)
+    return dict(sorted(_PROJECT_RULES.items()))
 
 
 # ----------------------------------------------------------------------
@@ -342,6 +418,10 @@ class LintResult:
     violations: List[Violation] = field(default_factory=list)
     baselined: List[Violation] = field(default_factory=list)
     stale_baseline: List[str] = field(default_factory=list)
+    #: The shared whole-program context of this run (``None`` when no
+    #: project rules ran).  The CLI reuses it for ``--graph-dump`` /
+    #: ``--protocol-dump`` so the dumps describe exactly the linted set.
+    project: Optional[ProjectContext] = field(default=None, repr=False)
 
     @property
     def suppressed(self) -> List[Tuple[Violation, Suppression]]:
@@ -380,11 +460,11 @@ def module_name_for(path: pathlib.Path) -> str:
     return ".".join(parts)
 
 
-def lint_file_contents(source: str, path: str, module: str,
-                       config: LintConfig,
-                       rules: Optional[Sequence[LintRule]] = None
-                       ) -> FileResult:
-    """Lint one already-read file; suppressions applied, no baseline."""
+def _lint_one(source: str, path: str, module: str, config: LintConfig,
+              rules: Sequence[LintRule]
+              ) -> Tuple[FileResult, Optional[LintContext]]:
+    """Lint one file with the per-file rules; return the parsed context
+    too (``None`` on a parse error) for the whole-program passes."""
     result = FileResult(path=path, module=module)
     lines = source.splitlines()
     directive = parse_module_directive(lines)
@@ -394,40 +474,99 @@ def lint_file_contents(source: str, path: str, module: str,
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         result.parse_error = f"{type(exc).__name__}: {exc.msg} (line {exc.lineno})"
-        return result
+        return result, None
     ctx = LintContext(path=path, module=module, source=source,
                       tree=tree, config=config)
-    active = (list(rules) if rules is not None
-              else [cls() for cls in registered_rules().values()])
     raw: List[Violation] = []
-    for rule in active:
+    for rule in rules:
         raw.extend(rule.check(ctx))
     raw.sort(key=lambda v: (v.line, v.col, v.code))
     result.suppressions = parse_suppressions(path, lines)
     for violation in raw:
-        handled = None
-        for supp in result.suppressions:
-            if supp.matches(violation):
-                handled = supp
-                supp.used = True
-                break
-        if handled is not None:
-            result.suppressed.append((violation, handled))
-        else:
-            result.violations.append(violation)
+        _file_or_suppress(result, violation)
+    return result, ctx
+
+
+def _file_or_suppress(result: FileResult, violation: Violation) -> None:
+    """Route one violation through the file's inline suppressions."""
+    for supp in result.suppressions:
+        if supp.matches(violation):
+            supp.used = True
+            result.suppressed.append((violation, supp))
+            return
+    result.violations.append(violation)
+
+
+def _run_project_rules(results: Sequence[FileResult],
+                       contexts: Sequence[LintContext],
+                       config: LintConfig,
+                       project_rules: Sequence[ProjectRule]
+                       ) -> Optional[ProjectContext]:
+    """Run the whole-program passes and merge their violations into the
+    owning files (through each file's suppressions)."""
+    if not contexts:
+        return None
+    project = ProjectContext(
+        contexts, config,
+        suppressions={r.path: r.suppressions for r in results})
+    by_path = {result.path: result for result in results}
+    raw: List[Violation] = []
+    for rule in project_rules:
+        raw.extend(rule.check_project(project))
+    raw.sort(key=lambda v: (v.path, v.line, v.col, v.code))
+    for violation in raw:
+        owner = by_path.get(violation.path)
+        if owner is None:  # defensive: rules only see linted files
+            continue
+        _file_or_suppress(owner, violation)
+    for result in results:
+        result.violations.sort(key=lambda v: (v.line, v.col, v.code))
+    return project
+
+
+def lint_file_contents(source: str, path: str, module: str,
+                       config: LintConfig,
+                       rules: Optional[Sequence[LintRule]] = None
+                       ) -> FileResult:
+    """Lint one already-read file; suppressions applied, no baseline."""
+    active = (list(rules) if rules is not None
+              else [cls() for cls in registered_rules().values()])
+    result, _ = _lint_one(source, path, module, config, active)
     return result
 
 
 def lint_source(source: str, path: str = "<memory>",
                 module: Optional[str] = None,
                 config: Optional[LintConfig] = None,
-                rules: Optional[Sequence[LintRule]] = None) -> FileResult:
-    """Single-blob entry point (fixture tests, editor integrations)."""
+                rules: Optional[Sequence[LintRule]] = None,
+                project_rules: Optional[Sequence[ProjectRule]] = None
+                ) -> FileResult:
+    """Single-blob entry point (fixture tests, editor integrations).
+
+    The whole-program rules run too, over a one-file project — call
+    chains, dispatch tables, and protocol surfaces wholly contained in
+    the blob are analysed exactly as they would be in a full run.
+    Passing an explicit (possibly empty) ``rules``/``project_rules``
+    sequence narrows the run to just those rules.
+    """
     if module is None:
         module = module_name_for(pathlib.Path(path))
     if config is None:
         config = default_config()
-    return lint_file_contents(source, path, module, config, rules)
+    active = (list(rules) if rules is not None
+              else [cls() for cls in registered_rules().values()])
+    result, ctx = _lint_one(source, path, module, config, active)
+    if ctx is not None:
+        if project_rules is not None:
+            active_project: List[ProjectRule] = list(project_rules)
+        elif rules is not None:
+            active_project = []  # explicit per-file rule set: no extras
+        else:
+            active_project = [cls()
+                              for cls in registered_project_rules().values()]
+        if active_project:
+            _run_project_rules([result], [ctx], config, active_project)
+    return result
 
 
 def iter_python_files(paths: Sequence[pathlib.Path]) -> Iterator[pathlib.Path]:
@@ -450,14 +589,19 @@ def lint_paths(paths: Sequence[pathlib.Path],
         baseline = Baseline()
     result = LintResult()
     rules = [cls() for cls in registered_rules().values()]
-    all_new: List[Violation] = []
+    project_rules = [cls() for cls in registered_project_rules().values()]
+    contexts: List[LintContext] = []
     for file_path in iter_python_files([pathlib.Path(p) for p in paths]):
         rel = _relative_to_root(file_path, root)
         source = file_path.read_text(encoding="utf-8")
-        file_result = lint_file_contents(
+        file_result, ctx = _lint_one(
             source, rel, module_name_for(file_path), config, rules)
         result.files.append(file_result)
-        all_new.extend(file_result.violations)
+        if ctx is not None:
+            contexts.append(ctx)
+    result.project = _run_project_rules(
+        result.files, contexts, config, project_rules)
+    all_new = [v for f in result.files for v in f.violations]
     matched: Set[str] = set()
     fingerprints = Baseline.fingerprints_for(all_new)
     for violation, fingerprint in zip(all_new, fingerprints):

@@ -21,7 +21,8 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from .lint import LintContext, LintRule, Violation
+from .lint import (LintContext, LintRule, ProjectContext, ProjectRule,
+                   Violation)
 
 # ----------------------------------------------------------------------
 # Shared AST helpers
@@ -566,3 +567,282 @@ class AuditRegistrationRule(LintRule):
                         "register(...) call; declare its quiescence floor "
                         "(repro.obs.audit) or justify a suppression",
                         target)
+
+
+# ----------------------------------------------------------------------
+# EXC001 — swallowed exceptions on scheduler-callback paths
+# ----------------------------------------------------------------------
+
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad_handler(handler: ast.ExceptHandler) -> bool:
+    probe = handler.type
+    if probe is None:
+        return True
+    candidates = probe.elts if isinstance(probe, ast.Tuple) else [probe]
+    return any(isinstance(c, ast.Name) and c.id in _BROAD_EXCEPTIONS
+               for c in candidates)
+
+
+def _handler_reacts(body: List[ast.stmt]) -> bool:
+    """Does the handler do *anything* with the failure — re-raise, call
+    something (a metric, a logger, a fail-the-op hook), return a value,
+    or record state?  Pure swallows (pass / bare return / continue) and
+    docstring-only bodies do none of these."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Raise, ast.Call, ast.AugAssign,
+                                 ast.Assign)):
+                return True
+            if isinstance(node, ast.AnnAssign) and node.value is not None:
+                return True
+            if isinstance(node, ast.Return) and node.value is not None:
+                if not (isinstance(node.value, ast.Constant)
+                        and node.value.value is None):
+                    return True
+    return False
+
+
+class SwallowedExceptionRule(LintRule):
+    """EXC001: a broad ``except`` on a sim-driven path that swallows.
+
+    Everything under the sim-only prefixes runs as scheduler callbacks:
+    an exception silently dropped there doesn't crash a request, it
+    silently corrupts a replica's state relative to its peers (the
+    exact divergence the paper's deterministic-execution requirement
+    exists to prevent) — and no log, metric, or failed op ever points
+    at it.  A broad handler must re-raise, record a metric/state, call
+    a failure hook, or return a substitute value; ``pass`` needs a
+    justified suppression explaining why ignoring is correct.
+    """
+
+    code = "EXC001"
+    name = "swallowed-exception"
+    description = ("broad except on a scheduler-callback path swallows "
+                   "the failure")
+
+    def check(self, ctx: LintContext) -> Iterator[Violation]:
+        if not ctx.module_in(ctx.config.sim_only_prefixes):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad_handler(node):
+                continue
+            if _handler_reacts(node.body):
+                continue
+            yield ctx.violation(
+                self.code,
+                "broad except swallows the failure on a sim-driven "
+                "path; re-raise, record a metric/state change, or fail "
+                "the pending op", node)
+
+
+# ----------------------------------------------------------------------
+# SM001 — state-machine dispatch exhaustiveness
+# ----------------------------------------------------------------------
+
+def _uppercase_assigns(node: ast.ClassDef) -> List[Tuple[str, ast.Assign]]:
+    found: List[Tuple[str, ast.Assign]] = []
+    for item in node.body:
+        if (isinstance(item, ast.Assign) and len(item.targets) == 1
+                and isinstance(item.targets[0], ast.Name)
+                and item.targets[0].id.isupper()):
+            found.append((item.targets[0].id, item))
+    return found
+
+
+def _enum_state_members(node: ast.ClassDef) -> List[str]:
+    is_enum = any(
+        (isinstance(b, ast.Name) and b.id.endswith("Enum"))
+        or (isinstance(b, ast.Attribute) and b.attr.endswith("Enum"))
+        for b in node.bases)
+    if not is_enum:
+        return []
+    return [name for name, _ in _uppercase_assigns(node)]
+
+
+def _str_constant_state_members(node: ast.ClassDef) -> List[str]:
+    """The repo's plain-class state convention: >=2 UPPERCASE attrs
+    whose values are the lowercased attr name (``CLOSED = "closed"``).
+    Matches CircuitBreaker / Totem membership states / execution
+    outcomes, and automatically picks up the next state added."""
+    members = [name for name, item in _uppercase_assigns(node)
+               if isinstance(item.value, ast.Constant)
+               and item.value.value == name.lower()]
+    return members if len(members) >= 2 else []
+
+
+def state_classes(project: ProjectContext) -> Dict[str, Tuple[str, ...]]:
+    """Class name -> state members, discovered across the linted set."""
+    def build() -> Dict[str, Tuple[str, ...]]:
+        found: Dict[str, Set[str]] = {}
+        for ctx in project.contexts:
+            for node in ctx.tree.body:
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                members = (_enum_state_members(node)
+                           or _str_constant_state_members(node))
+                if len(members) >= 2:
+                    found.setdefault(node.name, set()).update(members)
+        return {name: tuple(sorted(m)) for name, m in found.items()}
+    return project.cached("sm001.state_classes", build)
+
+
+def _holder_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _member_ref(node: ast.AST, classes: Dict[str, Tuple[str, ...]]
+                ) -> Optional[Tuple[str, str]]:
+    """(class name, member) if ``node`` is ``StateClass.MEMBER``."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    holder = _holder_name(node.value)
+    if holder is None or holder not in classes:
+        return None
+    if node.attr in classes[holder]:
+        return holder, node.attr
+    return None
+
+
+def _member_tests(test: ast.AST, classes: Dict[str, Tuple[str, ...]]
+                  ) -> Dict[Tuple[str, str], Set[str]]:
+    """(class, subject) -> members positively tested in one branch
+    condition.  Subject is the ast dump of the compared expression, so
+    ``kind is MsgKind.A`` and ``kind is MsgKind.B`` in different
+    branches group into one dispatch over ``kind``."""
+    hits: Dict[Tuple[str, str], Set[str]] = {}
+    for node in ast.walk(test if isinstance(test, ast.AST) else ast.Pass()):
+        if not (isinstance(node, ast.Compare) and len(node.ops) == 1
+                and len(node.comparators) == 1):
+            continue
+        op = node.ops[0]
+        left, right = node.left, node.comparators[0]
+        if isinstance(op, (ast.Is, ast.Eq)):
+            for member_side, subject_side in ((left, right), (right, left)):
+                ref = _member_ref(member_side, classes)
+                if ref is not None:
+                    cls, member = ref
+                    key = (cls, ast.dump(subject_side))
+                    hits.setdefault(key, set()).add(member)
+                    break
+        elif isinstance(op, ast.In) and isinstance(
+                right, (ast.Tuple, ast.List, ast.Set)):
+            for element in right.elts:
+                ref = _member_ref(element, classes)
+                if ref is not None:
+                    cls, member = ref
+                    key = (cls, ast.dump(left))
+                    hits.setdefault(key, set()).add(member)
+    return hits
+
+
+def _flatten_chain(head: ast.If) -> Tuple[List[ast.expr], bool, Set[int]]:
+    """Flatten an if/elif chain; ``elif`` is an ``If`` as the sole
+    ``orelse`` statement at the head's indentation (a nested ``else:
+    if ...:`` sits deeper and is treated as an explicit default)."""
+    tests: List[ast.expr] = [head.test]
+    consumed: Set[int] = set()
+    node = head
+    while (len(node.orelse) == 1 and isinstance(node.orelse[0], ast.If)
+            and node.orelse[0].col_offset == head.col_offset):
+        node = node.orelse[0]
+        consumed.add(id(node))
+        tests.append(node.test)
+    return tests, bool(node.orelse), consumed
+
+
+class StateMachineExhaustivenessRule(ProjectRule):
+    """SM001: a dispatch over a state machine must cover every state.
+
+    Applies to two dispatch shapes, wherever the subject expression is
+    compared against members of a discovered state class (an enum, or
+    the ``CLOSED = "closed"`` plain-class convention):
+
+    * an ``if/elif`` chain with >= 2 branches over the same subject —
+      must test every member or carry an explicit ``else``;
+    * a dict-dispatch display with >= 2 state-member keys and handler
+      (callable) values — must key every member.
+
+    The point is the *next* state: adding a ``ReplicationStyle``, a
+    breaker state, or a ``MsgKind`` makes every non-exhaustive
+    dispatch fail lint instead of silently falling through.
+    """
+
+    code = "SM001"
+    name = "state-dispatch-exhaustiveness"
+    description = ("if/elif or dict dispatch over a state class misses "
+                   "members and has no default")
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        classes = state_classes(project)
+        if not classes:
+            return
+        for ctx in project.contexts:
+            yield from self._check_file(ctx, classes)
+
+    def _check_file(self, ctx: LintContext,
+                    classes: Dict[str, Tuple[str, ...]]
+                    ) -> Iterator[Violation]:
+        consumed: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.If) and id(node) not in consumed:
+                tests, has_else, eaten = _flatten_chain(node)
+                consumed |= eaten
+                if not has_else:
+                    yield from self._check_chain(ctx, node, tests, classes)
+            elif isinstance(node, ast.Dict):
+                yield from self._check_table(ctx, node, classes)
+
+    def _check_chain(self, ctx: LintContext, head: ast.If,
+                     tests: List[ast.expr],
+                     classes: Dict[str, Tuple[str, ...]]
+                     ) -> Iterator[Violation]:
+        covered: Dict[Tuple[str, str], Set[str]] = {}
+        branches: Dict[Tuple[str, str], int] = {}
+        for test in tests:
+            for key, members in _member_tests(test, classes).items():
+                covered.setdefault(key, set()).update(members)
+                branches[key] = branches.get(key, 0) + 1
+        for (cls, _subject), members in sorted(covered.items()):
+            if branches[(cls, _subject)] < 2:
+                continue
+            missing = sorted(set(classes[cls]) - members)
+            if missing:
+                yield ctx.violation(
+                    self.code,
+                    f"if/elif dispatch over `{cls}` misses "
+                    f"{', '.join(missing)} and has no else; cover every "
+                    "state or add an explicit default", head)
+
+    def _check_table(self, ctx: LintContext, table: ast.Dict,
+                     classes: Dict[str, Tuple[str, ...]]
+                     ) -> Iterator[Violation]:
+        if not table.keys or not all(
+                isinstance(v, (ast.Name, ast.Attribute, ast.Lambda))
+                for v in table.values):
+            return
+        keyed: Dict[str, Set[str]] = {}
+        for key in table.keys:
+            if key is None:
+                return  # **splat merge: coverage is not statically known
+            ref = _member_ref(key, classes)
+            if ref is None:
+                return  # mixed / non-state keys: not a state dispatch
+            keyed.setdefault(ref[0], set()).add(ref[1])
+        for cls, members in sorted(keyed.items()):
+            if len(members) < 2:
+                continue
+            missing = sorted(set(classes[cls]) - members)
+            if missing:
+                yield ctx.violation(
+                    self.code,
+                    f"dict dispatch over `{cls}` misses "
+                    f"{', '.join(missing)}; a handler table must key "
+                    "every state", table)

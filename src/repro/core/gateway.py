@@ -810,6 +810,11 @@ class Gateway(Process):
             self._on_style_switch(msg)
         elif kind is MsgKind.CLIENT_GONE:
             self._purge_client(msg.client_id)
+        else:
+            # Group-management, logging, and ordering kinds are owned by
+            # the Replication Mechanisms; the gateway reacts only to the
+            # five kinds above.
+            return
 
     def _on_domain_response(self, msg: "DomainMessage") -> None:
         self._m_resp_received.inc()

@@ -127,6 +127,7 @@ class FaultNotifier:
     def _check_group_health(self) -> None:
         try:
             rm = self.domain.coordinator_rm()
+        # reprolint: disable=EXC001 -- no coordinator RM while the domain is still wiring (or fully down); the health check simply waits for the next membership event
         except Exception:
             return
         live = set(rm.live_hosts)

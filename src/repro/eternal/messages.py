@@ -35,7 +35,6 @@ class MsgKind(enum.Enum):
     GROUP_REMOVE = "group_remove"
     ADD_REPLICA = "add_replica"
     REMOVE_REPLICA = "remove_replica"
-    REPLACE_REPLICA = "replace_replica"    # live upgrade (Evolution Manager)
     REPLICA_READY = "replica_ready"        # state transfer complete
 
     # Logging and recovery.

@@ -202,6 +202,29 @@ class ReplicationMechanisms(Process):
         # reprolint: disable=AUD001 -- metric-object cache, bounded by the fixed name set
         self._lazy_counters: Dict[str, Any] = {}
 
+        # Exhaustive kind -> handler table for :meth:`_dispatch` (hot
+        # path, and the SM001 contract: adding a MsgKind without wiring
+        # a handler here fails lint instead of falling through).
+        # reprolint: disable=AUD001 -- fixed message-kind table, never grows
+        self._kind_dispatch = {
+            MsgKind.INVOCATION: self._on_invocation,
+            MsgKind.RESPONSE: self._on_response,
+            MsgKind.GROUP_ANNOUNCE: self._apply_group_announce,
+            MsgKind.GROUP_REMOVE: self._apply_group_remove,
+            MsgKind.ADD_REPLICA: self._apply_add_replica,
+            MsgKind.REMOVE_REPLICA: self._apply_remove_replica,
+            MsgKind.REPLICA_READY: self._on_replica_ready_delivered,
+            MsgKind.CHECKPOINT: self._apply_checkpoint,
+            MsgKind.STATE_UPDATE: self._apply_state_update,
+            MsgKind.STATE_TRANSFER: self._apply_state_transfer,
+            MsgKind.GATEWAY_MIRROR: self._on_gateway_kind,
+            MsgKind.CLIENT_GONE: self._on_gateway_kind,
+            MsgKind.ORDER_RECORD: self._apply_order_record,
+            MsgKind.STYLE_SWITCH: self._apply_style_switch,
+            MsgKind.REGISTRY_SYNC: self._on_registry_sync_delivered,
+            MsgKind.REGISTRY_SYNC_REQUEST: self._on_registry_sync_request,
+        }
+
         self._register_audit()
 
         totem.on_deliver(self._on_deliver)
@@ -309,13 +332,7 @@ class ReplicationMechanisms(Process):
         self._dispatch(payload)
 
     def _dispatch(self, payload: DomainMessage) -> None:
-        kind = payload.kind
-        if kind is MsgKind.INVOCATION:
-            self._on_invocation(payload)
-        elif kind is MsgKind.RESPONSE:
-            self._on_response(payload)
-        else:
-            self._on_control(payload)
+        self._kind_dispatch[payload.kind](payload)
         # Gateways observe their own group's forwarded invocations and all
         # gateway-coordination traffic.
         if self._gateway is not None:
@@ -526,6 +543,11 @@ class ReplicationMechanisms(Process):
                           "upto_ts": original.timestamp,
                           "version": record.version},
                 ))
+        else:
+            # ACTIVE / ACTIVE_WITH_VOTING / LEADER_FOLLOWER / STATELESS:
+            # every live replica executed the call itself, so there is
+            # no primary state to propagate afterwards.
+            return
 
     # ==================================================================
     # Nested invocations (Figure 6)
@@ -797,42 +819,28 @@ class ReplicationMechanisms(Process):
     # Control messages
     # ==================================================================
 
-    def _on_control(self, msg: DomainMessage) -> None:
-        kind = msg.kind
-        if kind is MsgKind.GROUP_ANNOUNCE:
-            self._apply_group_announce(msg)
-        elif kind is MsgKind.GROUP_REMOVE:
-            self._apply_group_remove(msg)
-        elif kind is MsgKind.ADD_REPLICA:
-            self._apply_add_replica(msg)
-        elif kind is MsgKind.REMOVE_REPLICA:
-            self._apply_remove_replica(msg)
-        elif kind is MsgKind.STATE_TRANSFER:
-            self._apply_state_transfer(msg)
-        elif kind is MsgKind.CHECKPOINT:
-            self._apply_checkpoint(msg)
-        elif kind is MsgKind.STATE_UPDATE:
-            self._apply_state_update(msg)
-        elif kind is MsgKind.ORDER_RECORD:
-            self._apply_order_record(msg)
-        elif kind is MsgKind.STYLE_SWITCH:
-            self._apply_style_switch(msg)
-        elif kind is MsgKind.REPLICA_READY:
-            for fn in list(self._replica_ready_listeners):
-                fn(msg.data["group_id"], msg.data["host"], msg.data["version"])
-        elif kind is MsgKind.REGISTRY_SYNC:
-            pass  # incumbents already hold the directory
-        elif kind is MsgKind.REGISTRY_SYNC_REQUEST:
-            # Every synced member answers; the requester applies the
-            # first snapshot and ignores the rest (idempotent).
-            if self.synced and msg.data.get("requester") != self.host.name:
-                self.multicast(DomainMessage(
-                    kind=MsgKind.REGISTRY_SYNC, source_group=0,
-                    target_group=0,
-                    data={"groups": self.registry.all_groups(),
-                          "for": [msg.data.get("requester")]},
-                ))
-        # GATEWAY_MIRROR / CLIENT_GONE are handled by the attached gateway.
+    def _on_replica_ready_delivered(self, msg: DomainMessage) -> None:
+        for fn in list(self._replica_ready_listeners):
+            fn(msg.data["group_id"], msg.data["host"], msg.data["version"])
+
+    def _on_gateway_kind(self, msg: DomainMessage) -> None:
+        """GATEWAY_MIRROR / CLIENT_GONE: owned by the attached gateway,
+        which observes every delivery through :meth:`_dispatch`."""
+
+    def _on_registry_sync_delivered(self, msg: DomainMessage) -> None:
+        """Incumbents already hold the directory (joiners apply the
+        snapshot pre-sync, in :meth:`_on_deliver`)."""
+
+    def _on_registry_sync_request(self, msg: DomainMessage) -> None:
+        # Every synced member answers; the requester applies the
+        # first snapshot and ignores the rest (idempotent).
+        if self.synced and msg.data.get("requester") != self.host.name:
+            self.multicast(DomainMessage(
+                kind=MsgKind.REGISTRY_SYNC, source_group=0,
+                target_group=0,
+                data={"groups": self.registry.all_groups(),
+                      "for": [msg.data.get("requester")]},
+            ))
 
     def _apply_registry_sync(self, msg: DomainMessage) -> None:
         """Adopt the directory snapshot, then replay buffered deliveries.

@@ -173,6 +173,7 @@ class LocateStatus:
     OBJECT_FORWARD = 2
 
 
+# reprolint: disable=FLOW002 -- client-side encoder: in-tree ORBs only decode LocateRequests; plain-ORB test clients emit them
 def encode_locate_request(request_id: int, object_key: bytes,
                           little_endian: bool = False) -> bytes:
     """GIOP 1.0 LocateRequest: 'is this object here?' probes that real
@@ -220,6 +221,7 @@ def decode_locate_reply(message: bytes) -> Tuple[int, int]:
     return stream.read_ulong(), stream.read_ulong()
 
 
+# reprolint: disable=FLOW002,FLOW003 -- client-side decoder for the OBJECT_FORWARD body that encode_locate_reply(forward_ior=...) emits; re-homed plain-ORB test clients call it
 def decode_locate_forward(message: bytes):
     """Decode the forwarding IOR from an ``OBJECT_FORWARD`` LocateReply;
     ``None`` when the reply carries another status (or no body)."""
@@ -234,6 +236,7 @@ def decode_locate_forward(message: bytes):
     return Ior.decode(stream)
 
 
+# reprolint: disable=FLOW002 -- client-side encoder: in-tree gateways only decode CancelRequests; test clients emit them
 def encode_cancel_request(request_id: int, little_endian: bool = False) -> bytes:
     """GIOP CancelRequest: best-effort 'stop working on request N'."""
     out = CdrOutputStream(little_endian=little_endian)
@@ -251,10 +254,12 @@ def decode_cancel_request(message: bytes) -> int:
     return stream.read_ulong()
 
 
+# reprolint: disable=FLOW002,FLOW003 -- header-only message (no body to decode); we never originate CloseConnection but peer ORBs may, and the client connection handles it
 def encode_close_connection(little_endian: bool = False) -> bytes:
     return _giop_header(MsgType.CLOSE_CONNECTION, 0, little_endian)
 
 
+# reprolint: disable=FLOW003 -- header-only message: MESSAGE_ERROR carries no body, parse_header is its decoder
 def encode_message_error(little_endian: bool = False) -> bytes:
     return _giop_header(MsgType.MESSAGE_ERROR, 0, little_endian)
 

@@ -202,6 +202,12 @@ class IiopClientConnection:
                     locate_handlers[0](message)
             elif message_type == MsgType.CLOSE_CONNECTION:
                 self._on_peer_close()
+            elif message_type == MsgType.MESSAGE_ERROR:
+                # The peer could not parse something we sent: nothing
+                # in flight can be trusted any more, so fail pending
+                # requests and drop the connection (GIOP 1.0 §15.4.8).
+                self.close()
+                return
 
 
 class IiopServerConnection:

@@ -1,0 +1,21 @@
+# reprolint: module=repro.sim.fixture_exc
+"""EXC001 bad: broad excepts on a sim-driven path that swallow."""
+
+
+class Pump:
+    def tick(self):
+        try:
+            self.advance()
+        except Exception:
+            pass
+
+    def advance(self):
+        raise RuntimeError("boom")
+
+
+def drain(events):
+    for event in events:
+        try:
+            event()
+        except:
+            continue

@@ -1,0 +1,27 @@
+# reprolint: module=repro.sim.fixture_flow
+"""FLOW001 bad: a kind the system can send but nothing dispatches."""
+
+
+class MsgKind:
+    PING = "ping"
+    PONG = "pong"
+
+
+class Bus:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, kind, payload):
+        self.sent.append((kind, payload))
+
+
+def emit(bus):
+    bus.send(MsgKind.PING, b"x")
+    # PONG goes on the wire but no dispatch site anywhere handles it.
+    bus.send(MsgKind.PONG, b"y")
+
+
+def deliver(kind, payload):
+    if kind is MsgKind.PING:
+        return payload
+    return None

@@ -1,0 +1,29 @@
+# reprolint: module=repro.sim.fixture_flow
+"""FLOW001 good: every sendable kind has a live dispatch site."""
+
+
+class MsgKind:
+    PING = "ping"
+    PONG = "pong"
+
+
+class Bus:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, kind, payload):
+        self.sent.append((kind, payload))
+
+
+def emit(bus):
+    bus.send(MsgKind.PING, b"x")
+    bus.send(MsgKind.PONG, b"y")
+
+
+def deliver(kind, payload):
+    if kind is MsgKind.PING:
+        return payload
+    elif kind is MsgKind.PONG:
+        return None
+    else:
+        return None

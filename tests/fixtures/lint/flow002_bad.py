@@ -1,0 +1,30 @@
+# reprolint: module=repro.sim.fixture_flow
+"""FLOW002 bad: a handler nothing can reach, and a kind nobody uses."""
+
+
+class MsgKind:
+    PING = "ping"
+    RETIRED = "retired"
+    GHOST = "ghost"
+
+
+class Bus:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, kind, payload):
+        self.sent.append((kind, payload))
+
+
+def emit(bus):
+    bus.send(MsgKind.PING, b"x")
+
+
+def deliver(kind):
+    if kind is MsgKind.PING:
+        return "pong"
+    elif kind is MsgKind.RETIRED:
+        # Dead handler: nothing sends RETIRED any more.
+        return "late"
+    else:
+        return None

@@ -1,0 +1,29 @@
+# reprolint: module=repro.sim.fixture_flow
+"""FLOW002 good: every kind is both sent and handled somewhere."""
+
+
+class MsgKind:
+    PING = "ping"
+    RETIRED = "retired"
+
+
+class Bus:
+    def __init__(self):
+        self.sent = []
+
+    def send(self, kind, payload):
+        self.sent.append((kind, payload))
+
+
+def emit(bus):
+    bus.send(MsgKind.PING, b"x")
+    bus.send(MsgKind.RETIRED, b"bye")
+
+
+def deliver(kind):
+    if kind is MsgKind.PING:
+        return "pong"
+    elif kind is MsgKind.RETIRED:
+        return "late"
+    else:
+        return None

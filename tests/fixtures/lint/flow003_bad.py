@@ -1,0 +1,21 @@
+# reprolint: module=repro.iiop.giop
+"""FLOW003 bad: an encoder whose output nothing can parse."""
+
+import struct
+
+
+def encode_ping(seq):
+    return struct.pack(">I", seq)
+
+
+def decode_ping(data):
+    return struct.unpack(">I", data)[0]
+
+
+def encode_orphan(flag):
+    # No decode_orphan anywhere: peers cannot parse this shape.
+    return b"\x01" if flag else b"\x00"
+
+
+def roundtrip():
+    return decode_ping(encode_ping(7)), encode_orphan(True)

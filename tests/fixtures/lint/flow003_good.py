@@ -1,0 +1,24 @@
+# reprolint: module=repro.iiop.giop
+"""FLOW003 good: every codec suffix has both directions."""
+
+import struct
+
+
+def encode_ping(seq):
+    return struct.pack(">I", seq)
+
+
+def decode_ping(data):
+    return struct.unpack(">I", data)[0]
+
+
+def encode_orphan(flag):
+    return b"\x01" if flag else b"\x00"
+
+
+def decode_orphan(data):
+    return data == b"\x01"
+
+
+def roundtrip():
+    return decode_ping(encode_ping(7)), decode_orphan(encode_orphan(True))

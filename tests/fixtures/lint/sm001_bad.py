@@ -1,0 +1,49 @@
+# reprolint: module=repro.sim.fixture_sm
+"""SM001 bad: dispatches over state classes that miss members."""
+
+import enum
+
+
+class Phase(enum.Enum):
+    GATHER = "gather"
+    COMMIT = "commit"
+    OPERATIONAL = "operational"
+
+
+class Valve:
+    OPEN = "open"
+    CLOSED = "closed"
+    HALF = "half"
+
+
+def describe(phase):
+    # Misses Phase.OPERATIONAL and has no else.
+    if phase is Phase.GATHER:
+        return "gathering"
+    elif phase is Phase.COMMIT:
+        return "committing"
+    return "?"
+
+
+def flip(state):
+    # The plain-class (CLOSED = "closed") convention: misses Valve.HALF.
+    if state == Valve.OPEN:
+        return Valve.CLOSED
+    elif state == Valve.CLOSED:
+        return Valve.OPEN
+    return state
+
+
+def _on_gather(msg):
+    return msg
+
+
+def _on_commit(msg):
+    return msg
+
+
+# Handler table misses Phase.OPERATIONAL.
+HANDLERS = {
+    Phase.GATHER: _on_gather,
+    Phase.COMMIT: _on_commit,
+}

@@ -1,0 +1,66 @@
+# reprolint: module=repro.sim.fixture_sm
+"""SM001 good: exhaustive dispatches, explicit defaults, non-dispatch
+shapes the rule must leave alone."""
+
+import enum
+
+
+class Phase(enum.Enum):
+    GATHER = "gather"
+    COMMIT = "commit"
+    OPERATIONAL = "operational"
+
+
+def describe(phase):
+    # Exhaustive: every member tested.
+    if phase is Phase.GATHER:
+        return "gathering"
+    elif phase is Phase.COMMIT:
+        return "committing"
+    elif phase is Phase.OPERATIONAL:
+        return "operational"
+    return "?"
+
+
+def describe_defaulted(phase):
+    # Non-exhaustive but carries an explicit else: the author opted in
+    # to a default, so the dispatch cannot silently fall through.
+    if phase is Phase.GATHER:
+        return "gathering"
+    elif phase is Phase.COMMIT:
+        return "committing"
+    else:
+        return "running"
+
+
+def is_gathering(phase):
+    # A single guard is a predicate, not a dispatch.
+    if phase is Phase.GATHER:
+        return True
+    return False
+
+
+def _on_gather(msg):
+    return msg
+
+
+def _on_commit(msg):
+    return msg
+
+
+def _on_operational(msg):
+    return msg
+
+
+# Exhaustive handler table.
+HANDLERS = {
+    Phase.GATHER: _on_gather,
+    Phase.COMMIT: _on_commit,
+    Phase.OPERATIONAL: _on_operational,
+}
+
+# String labels are not handlers: a partial *labelling* dict is fine.
+LABELS = {
+    Phase.GATHER: "gathering",
+    Phase.COMMIT: "committing",
+}

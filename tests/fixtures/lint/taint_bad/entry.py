@@ -1,0 +1,21 @@
+# reprolint: module=repro.sim.fixture_entry
+"""Deterministic entry points that reach host sinks via helpers.
+
+No line in this file touches a sink directly — the per-file rules
+(DET001/DET002/SIM001) see nothing.  Every entry point below must be
+caught by the interprocedural pass instead.
+"""
+
+from fixturelib.hostglue import jitter, nap, tagged_stamp
+
+
+def record_event(log):
+    log.append(tagged_stamp("event"))
+
+
+def pick_backoff():
+    return 1.0 + jitter()
+
+
+def settle():
+    nap(0.01)

@@ -1,0 +1,26 @@
+# reprolint: module=fixturelib.hostglue
+"""Out-of-scope host glue that deterministic fixture code leans on.
+
+The module is outside every reprolint scope, so only the transitive
+rules (DET101/DET102/SIM101) can see what it does to its callers.
+"""
+
+import random
+import time
+
+
+def stamp():
+    return time.time()
+
+
+def tagged_stamp(tag):
+    # One extra hop: taint must flow through intermediate frames.
+    return tag, stamp()
+
+
+def jitter():
+    return random.random()
+
+
+def nap(seconds):
+    time.sleep(seconds)

@@ -1,0 +1,16 @@
+# reprolint: module=repro.sim.fixture_entry
+"""Deterministic entry points whose helpers stay clean."""
+
+from fixturelib.cleanglue import sanctioned_stamp, seeded_rng, shape
+
+
+def record_event(log):
+    log.append(sanctioned_stamp())
+
+
+def pick_backoff():
+    return 1.0 + seeded_rng(7).random()
+
+
+def settle(values):
+    return shape(values)

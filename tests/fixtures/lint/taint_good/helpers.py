@@ -1,0 +1,21 @@
+# reprolint: module=fixturelib.cleanglue
+"""Sanctioned host glue: the one wall read is a justified boundary."""
+
+import random
+import time
+
+
+def sanctioned_stamp():
+    # A justified base-code suppression marks the sanctioned boundary
+    # (the hostclock pattern); taint must NOT propagate to callers.
+    # reprolint: disable=DET001 -- fixture: sanctioned host-time boundary
+    return time.time()
+
+
+def seeded_rng(seed):
+    # Explicit seeded Random is the sanctioned pattern, not a sink.
+    return random.Random(seed)
+
+
+def shape(values):
+    return sorted(values)

@@ -38,6 +38,11 @@ def codes(result):
     ("SIM001", "sim001_bad.py", "sim001_good.py"),
     ("OBS001", "obs001_bad.py", "obs001_good.py"),
     ("AUD001", "aud001_bad.py", "aud001_good.py"),
+    ("EXC001", "exc001_bad.py", "exc001_good.py"),
+    ("SM001", "sm001_bad.py", "sm001_good.py"),
+    ("FLOW001", "flow001_bad.py", "flow001_good.py"),
+    ("FLOW002", "flow002_bad.py", "flow002_good.py"),
+    ("FLOW003", "flow003_bad.py", "flow003_good.py"),
 ])
 def test_rule_flags_bad_and_passes_good(code, bad, good):
     bad_result = lint_fixture(bad)
@@ -67,6 +72,19 @@ def test_bad_fixtures_flag_every_offending_construct():
     flagged = {v.message for v in aud1.violations if v.code == "AUD001"}
     assert any("_forgotten" in m for m in flagged)
     assert not any("_pending" in m for m in flagged)
+    exc1 = lint_fixture("exc001_bad.py")
+    assert len([v for v in exc1.violations if v.code == "EXC001"]) == 2
+    sm1 = lint_fixture("sm001_bad.py")
+    flagged = {v.message for v in sm1.violations if v.code == "SM001"}
+    assert any("`Phase` misses OPERATIONAL" in m for m in flagged)
+    assert any("`Valve` misses HALF" in m for m in flagged)
+    assert any("dict dispatch over `Phase`" in m for m in flagged)
+    flow2 = lint_fixture("flow002_bad.py")
+    flagged = {v.message for v in flow2.violations if v.code == "FLOW002"}
+    assert any("MsgKind.RETIRED" in m and "dead handler" in m
+               for m in flagged)
+    assert any("MsgKind.GHOST" in m and "dead message kind" in m
+               for m in flagged)
 
 
 def test_rules_scope_to_their_packages():

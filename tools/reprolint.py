@@ -3,6 +3,9 @@
 
 Usage:
     python tools/reprolint.py [paths...] [--json report.json]
+                              [--graph-dump graph.json]
+                              [--protocol-dump protocol.json]
+                              [--budget seconds]
                               [--write-baseline] [--verbose]
 
 Thin wrapper over :mod:`repro.analysis.cli`; see docs/STATIC_ANALYSIS.md
